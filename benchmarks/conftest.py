@@ -1,0 +1,39 @@
+"""Shared configuration for the benchmark harness.
+
+Each ``test_bench_*`` module regenerates one of the paper's tables or
+figures (DESIGN.md §3) at a reduced scale, printing the same
+rows/series the paper plots.  Run them with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+Scales are kept modest so the full harness completes in minutes of
+pure-Python simulation; raise ``BENCH_SCALE`` for higher fidelity.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.config import ExperimentScale
+
+#: The scale every benchmark target runs at.
+BENCH_SCALE = ExperimentScale(
+    num_sets=64, associativity=16, trace_length=60_000
+)
+
+#: A finer scale for the two single-benchmark sweeps.
+SWEEP_SCALE = ExperimentScale(
+    num_sets=64, associativity=16, trace_length=40_000
+)
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> ExperimentScale:
+    """Session-wide experiment scale for benchmark targets."""
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def sweep_scale() -> ExperimentScale:
+    """Scale for the associativity sweeps (Figures 3 and 10)."""
+    return SWEEP_SCALE

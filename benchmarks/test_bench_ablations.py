@@ -1,0 +1,84 @@
+"""Benchmark: STEM design-choice ablations (DESIGN.md §6)."""
+
+from dataclasses import replace
+
+from repro.core.config import StemConfig
+from repro.experiments import ablations
+from repro.sim.config import ExperimentScale
+
+SCALE = ExperimentScale(num_sets=64, associativity=16, trace_length=40_000)
+
+
+def test_bench_receiving_control_ablation(benchmark):
+    base = StemConfig()
+    result = benchmark.pedantic(
+        lambda: ablations.run(
+            benchmarks=("astar", "omnetpp"),
+            scale=SCALE,
+            variants={
+                "baseline": base,
+                "no-receiving-control": replace(
+                    base, receiving_control=False
+                ),
+            },
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("Ablation: receiving control (MPKI, lower is better)")
+    for bench_name, row in result.mpki.items():
+        print(f"  {bench_name:>10s}: baseline={row['baseline']:.3f}  "
+              f"ungated={row['no-receiving-control']:.3f}")
+    # On the giver-fragile workload the gate must not hurt, and it
+    # should help where SBC-style pollution bites (astar).
+    astar = result.mpki["astar"]
+    assert astar["baseline"] <= astar["no-receiving-control"] * 1.02
+
+
+def test_bench_shadow_inversion_ablation(benchmark):
+    base = StemConfig()
+    result = benchmark.pedantic(
+        lambda: ablations.run(
+            benchmarks=("mcf",),
+            scale=SCALE,
+            variants={
+                "baseline": base,
+                "mirrored-shadow": replace(
+                    base, invert_shadow_policy=False
+                ),
+            },
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    row = result.mpki["mcf"]
+    print(f"Ablation: shadow-policy inversion on mcf — "
+          f"inverted={row['baseline']:.3f}  mirrored={row['mirrored-shadow']:.3f}")
+    # Without the opposite-policy shadow, the SC_T duel goes blind on a
+    # thrashing workload: the inverted design must win.
+    assert row["baseline"] < row["mirrored-shadow"]
+
+
+def test_bench_spatial_ratio_sensitivity(benchmark):
+    base = StemConfig()
+    result = benchmark.pedantic(
+        lambda: ablations.run(
+            benchmarks=("omnetpp",),
+            scale=SCALE,
+            variants={
+                f"n={n}": replace(base, spatial_ratio_bits=n)
+                for n in (1, 3, 5)
+            },
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    row = result.mpki["omnetpp"]
+    print("Ablation: spatial decrement ratio n on omnetpp (MPKI): "
+          + "  ".join(f"{k}={v:.3f}" for k, v in row.items()))
+    # All settings must stay well below LRU-level thrash; Table 3's
+    # n=3 should be competitive with the extremes.
+    assert row["n=3"] <= min(row.values()) * 1.3

@@ -1,0 +1,42 @@
+"""Benchmark: regenerate Figure 1 (set-level capacity demand bands)."""
+
+from repro.experiments import figure1
+
+
+def test_bench_figure1_omnetpp(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        lambda: figure1.run(
+            "omnetpp",
+            scale=bench_scale,
+            num_intervals=5,
+            interval_length=10_000,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(f"Figure 1(a) omnetpp: <=16-way demand share "
+          f"{result.fraction_le_16:.1%} (paper: ~50%)")
+    for band, fraction in result.mean_bands.items():
+        if fraction > 0.01:
+            print(f"  band {band}: {fraction:6.1%}")
+    assert 0.2 < result.fraction_le_16 < 0.9
+
+
+def test_bench_figure1_ammp(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        lambda: figure1.run(
+            "ammp",
+            scale=bench_scale,
+            num_intervals=5,
+            interval_length=10_000,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(f"Figure 1(b) ammp: <=4-way demand share "
+          f"{result.fraction_le_4:.1%} (paper: ~50%), "
+          f"streaming band {result.mean_bands[(0, 0)]:.1%}")
+    assert result.fraction_le_4 > 0.3
+    assert result.mean_bands[(0, 0)] > 0.05

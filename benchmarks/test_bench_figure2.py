@@ -1,0 +1,30 @@
+"""Benchmark: regenerate Figure 2 (synthetic two-set miss rates)."""
+
+import pytest
+
+from repro.experiments import figure2
+
+
+def test_bench_figure2_all_examples(benchmark):
+    results = benchmark.pedantic(
+        lambda: [figure2.run(example, rounds=4096) for example in (1, 2, 3)],
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("Figure 2 miss rates — measured (paper):")
+    for result in results:
+        cells = "  ".join(
+            f"{scheme}={result.measured[scheme]:.3f}"
+            f"({result.expected.get(scheme, float('nan')):.3f})"
+            for scheme in ("LRU", "DIP", "SBC")
+        )
+        print(f"  example {result.example} ws={result.working_sets}: "
+              f"{cells}  STEM={result.measured['STEM']:.3f}")
+    ex1, ex2, ex3 = results
+    assert ex1.measured["LRU"] == pytest.approx(0.5, abs=0.02)
+    assert ex1.measured["SBC"] == pytest.approx(0.0, abs=0.02)
+    assert ex2.measured["SBC"] == pytest.approx(1 / 3, abs=0.08)
+    assert ex3.measured["LRU"] == pytest.approx(1.0, abs=0.01)
+    # The extensional example: STEM below SBC's 1/3 on example #2.
+    assert ex2.measured["STEM"] < ex2.measured["SBC"]

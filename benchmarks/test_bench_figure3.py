@@ -1,0 +1,51 @@
+"""Benchmark: regenerate Figure 3 (MPKI vs associativity, no STEM)."""
+
+from repro.experiments import figure3
+from repro.sim.results import format_series
+
+ASSOCIATIVITIES = (2, 4, 8, 12, 16, 24, 32)
+
+
+def _print_sweep(result, title):
+    print()
+    print(format_series(
+        result.mpki,
+        result.associativities,
+        x_label="scheme\\assoc",
+        title=title,
+        precision=2,
+    ))
+
+
+def test_bench_figure3_omnetpp(benchmark, sweep_scale):
+    result = benchmark.pedantic(
+        lambda: figure3.run(
+            "omnetpp", associativities=ASSOCIATIVITIES, scale=sweep_scale
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    _print_sweep(result, "Figure 3(a) omnetpp MPKI")
+    # Low associativity: temporal (DIP) ahead of spatial (SBC).
+    assert result.mpki["DIP"][0] < result.mpki["SBC"][0]
+    # Convergence at 32 ways.
+    top = result.mpki["LRU"][-1]
+    for scheme in ("DIP", "SBC"):
+        assert abs(result.mpki[scheme][-1] - top) < max(0.5, 0.3 * top)
+
+
+def test_bench_figure3_ammp(benchmark, sweep_scale):
+    result = benchmark.pedantic(
+        lambda: figure3.run(
+            "ammp", associativities=ASSOCIATIVITIES, scale=sweep_scale
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    _print_sweep(result, "Figure 3(b) ammp MPKI")
+    # The spatial window: SBC beats LRU somewhere low-to-mid range.
+    gains = [
+        lru - sbc
+        for lru, sbc in zip(result.mpki["LRU"][:5], result.mpki["SBC"][:5])
+    ]
+    assert max(gains) > 0

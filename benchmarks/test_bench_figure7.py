@@ -1,0 +1,36 @@
+"""Benchmark: regenerate Figure 7 (normalized MPKI, 15 benchmarks).
+
+This is the headline experiment; the evaluation matrix it builds is
+memoised, so the Figure 8/9 benches that share it cost almost nothing
+when run in the same session.
+"""
+
+from repro.experiments import evaluation, figure7
+from repro.sim.config import PAPER_SCHEMES
+from repro.sim.results import format_table
+from repro.workloads.spec_like import benchmark_names
+
+
+def test_bench_figure7_normalized_mpki(benchmark, bench_scale):
+    table = benchmark.pedantic(
+        lambda: figure7.run(scale=bench_scale),
+        rounds=1,
+        iterations=1,
+    )
+    ordered = {n: table[n] for n in benchmark_names() if n in table}
+    ordered["Geomean"] = table["Geomean"]
+    print()
+    print(format_table(
+        ordered, columns=list(PAPER_SCHEMES),
+        title="Figure 7: MPKI normalized to LRU "
+              "(paper geomeans: STEM 0.786, best of all)",
+    ))
+    geomeans = table["Geomean"]
+    # Paper shape: STEM posts the best geomean of the non-V-Way schemes
+    # and clearly beats LRU overall.
+    for scheme in ("LRU", "DIP", "PeLIFO", "SBC"):
+        assert geomeans["STEM"] <= geomeans[scheme]
+    assert geomeans["STEM"] < 0.9
+    # STEM never materially degrades any single benchmark.
+    for name in benchmark_names():
+        assert table[name]["STEM"] <= 1.1

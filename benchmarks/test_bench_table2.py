@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Table 2 (classes and LRU MPKI)."""
+
+from repro.experiments import table2
+
+
+def test_bench_table2_lru_mpki(benchmark, bench_scale):
+    rows = benchmark.pedantic(
+        lambda: table2.run(scale=bench_scale, classify=False),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("Table 2: MPKI under LRU — measured (paper)")
+    for row in rows:
+        print(f"  {row.benchmark:>12s} [{row.paper_class}] "
+              f"{row.measured_mpki:8.3f} ({row.paper_mpki:.3f})")
+    # Calibration contract: measured LRU MPKI within 2x of Table 2 for
+    # every benchmark (the generators target these numbers).
+    for row in rows:
+        assert 0.4 * row.paper_mpki < row.measured_mpki < 2.5 * row.paper_mpki
+    # Ordering sanity: mcf is the thrash king, gromacs the lightest.
+    by_name = {row.benchmark: row.measured_mpki for row in rows}
+    assert by_name["mcf"] == max(by_name.values())
+    assert by_name["gromacs"] == min(by_name.values())

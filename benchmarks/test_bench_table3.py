@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Table 3 (hardware storage overhead)."""
+
+import pytest
+
+from repro.experiments import table3
+
+
+def test_bench_table3_overheads(benchmark):
+    reports = benchmark.pedantic(table3.run, rounds=1, iterations=1)
+    print()
+    print("Table 3: storage overhead over the LRU baseline")
+    for name, report in reports.items():
+        print(f"  {name:>8s}: {report.overhead_percent:6.2f}% "
+              f"({report.extra_bits:,} bits)")
+    assert reports["STEM"].overhead_percent == pytest.approx(3.1, abs=0.1)
+    assert reports["DIP"].overhead_percent < 0.01
+    assert reports["SBC"].overhead_percent < 1.0

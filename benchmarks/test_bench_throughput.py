@@ -1,0 +1,32 @@
+"""Microbenchmarks: simulation throughput of each LLC scheme.
+
+These are true pytest-benchmark measurements (multiple rounds) of the
+simulator's accesses/second per scheme — useful for tracking the cost
+of STEM's extra machinery (shadow probes, heap traffic) relative to
+the plain LRU access path.
+"""
+
+import pytest
+
+from repro.sim.config import ExperimentScale, make_scheme
+from repro.workloads.spec_like import make_benchmark_trace
+
+SCALE = ExperimentScale(num_sets=64, associativity=16)
+TRACE = make_benchmark_trace("omnetpp", num_sets=64, length=20_000)
+
+
+@pytest.mark.parametrize(
+    "scheme", ["LRU", "DIP", "PeLIFO", "V-Way", "SBC", "STEM"]
+)
+def test_bench_scheme_throughput(benchmark, scheme):
+    addresses = TRACE.addresses
+
+    def simulate():
+        cache = make_scheme(scheme, SCALE.geometry())
+        access = cache.access
+        for address in addresses:
+            access(address)
+        return cache.stats.misses
+
+    misses = benchmark(simulate)
+    assert misses > 0

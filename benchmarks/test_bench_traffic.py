@@ -1,0 +1,33 @@
+"""Benchmark: off-chip traffic per scheme (extension experiment)."""
+
+from repro.experiments import traffic
+from repro.sim.config import ExperimentScale
+
+SCALE = ExperimentScale(num_sets=64, associativity=16, trace_length=40_000)
+
+
+def test_bench_offchip_traffic(benchmark):
+    result = benchmark.pedantic(
+        lambda: traffic.run(
+            benchmarks=("omnetpp", "mcf", "soplex"),
+            scale=SCALE,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("Off-chip lines per kilo-instruction (fetch + writeback):")
+    for name in result.benchmarks:
+        cells = "  ".join(
+            f"{scheme}={result.total_pki(name, scheme):.1f}"
+            for scheme in result.schemes
+        )
+        print(f"  {name:>10s}: {cells}")
+    # STEM's retention cuts omnetpp traffic well below LRU's.
+    assert result.total_pki("omnetpp", "STEM") < 0.7 * result.total_pki(
+        "omnetpp", "LRU"
+    )
+    # Nothing can cut soplex's compulsory stream much.
+    assert result.total_pki("soplex", "STEM") > 0.85 * result.total_pki(
+        "soplex", "LRU"
+    )

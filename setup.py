@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` on modern pip prefers PEP 660 editable wheels,
+which require the ``wheel`` module; this shim lets the legacy
+``--no-use-pep517`` editable path work in offline environments.  All
+real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,157 @@
+"""Set-level capacity-demand characterisation (the paper's Figure 1).
+
+Following Section 3.1 (and [8]), the *capacity demand* of a set during
+a sampling interval is the minimum number of cache lines that resolves
+as many conflict misses as a ``max_ways``-way set would (32 ways in
+the paper, which suffices to remove all conflict misses for the studied
+workloads).  Concretely, per interval and per set we histogram the LRU
+stack distances of the set's accesses (stacks persist across intervals
+— only the histogram restarts) and report
+
+    demand = min { a : hits(a) == hits(max_ways) } ,
+
+which is 0 for idle or purely-streaming sets (the "blue band" of
+Figure 1(b)) and up to ``max_ways`` for heavily conflicted sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.stack_distance import COLD, StackDistanceProfiler
+from repro.common.addressing import AddressMapper
+from repro.common.errors import ConfigError
+from repro.workloads.trace import Trace
+
+
+@dataclass
+class CapacityDemandProfile:
+    """Per-interval, per-set capacity demands plus presentation helpers."""
+
+    max_ways: int
+    interval_length: int
+    demands: List[List[int]]  # demands[interval][set_index]
+
+    @property
+    def num_intervals(self) -> int:
+        """Number of sampling intervals profiled."""
+        return len(self.demands)
+
+    def bands(self) -> List[Tuple[int, int]]:
+        """Figure 1's legend bands: (0,0), (1,2), (3,4), ..., (31,32)."""
+        result = [(0, 0)]
+        low = 1
+        while low <= self.max_ways:
+            result.append((low, min(low + 1, self.max_ways)))
+            low += 2
+        return result
+
+    def band_distribution(self, interval: int) -> Dict[Tuple[int, int], float]:
+        """Fraction of sets whose demand falls in each band."""
+        demands = self.demands[interval]
+        total = len(demands)
+        distribution: Dict[Tuple[int, int], float] = {}
+        for band in self.bands():
+            low, high = band
+            count = sum(1 for demand in demands if low <= demand <= high)
+            distribution[band] = count / total
+        return distribution
+
+    def mean_distribution(self) -> Dict[Tuple[int, int], float]:
+        """Band distribution averaged over every interval."""
+        totals: Dict[Tuple[int, int], float] = {
+            band: 0.0 for band in self.bands()
+        }
+        for interval in range(self.num_intervals):
+            for band, fraction in self.band_distribution(interval).items():
+                totals[band] += fraction
+        return {
+            band: value / max(1, self.num_intervals)
+            for band, value in totals.items()
+        }
+
+    def fraction_with_demand_at_most(self, ways: int) -> float:
+        """Share of (interval, set) samples needing <= ``ways`` lines."""
+        total = 0
+        matching = 0
+        for interval in self.demands:
+            for demand in interval:
+                total += 1
+                if demand <= ways:
+                    matching += 1
+        return matching / total if total else 0.0
+
+
+def profile_capacity_demand(
+    trace: Trace,
+    num_sets: int,
+    max_ways: int = 32,
+    interval_length: int = 50_000,
+) -> CapacityDemandProfile:
+    """Compute the Figure 1 characterisation for ``trace``.
+
+    The paper samples 1000 intervals of 50 000 accesses on a 2048-set
+    LLC; callers scale ``interval_length`` and the trace length together
+    with ``num_sets`` (DESIGN.md §4's tractability note).
+    """
+    if max_ways <= 0:
+        raise ConfigError(f"max_ways must be positive, got {max_ways}")
+    if interval_length <= 0:
+        raise ConfigError(
+            f"interval_length must be positive, got {interval_length}"
+        )
+    mapper = AddressMapper(
+        num_sets=num_sets,
+        line_size=trace.metadata.line_size,
+        address_bits=trace.metadata.address_bits,
+    )
+    profilers = [
+        StackDistanceProfiler(max_depth=max_ways + 1) for _ in range(num_sets)
+    ]
+    # hit_counts[set][a] = hits in the current interval at distance a,
+    # with index max_ways collecting everything >= max_ways.
+    hit_counts: List[List[int]] = [
+        [0] * (max_ways + 1) for _ in range(num_sets)
+    ]
+    demands: List[List[int]] = []
+    position = 0
+    for address in trace.addresses:
+        set_index, tag = mapper.split(address)
+        distance = profilers[set_index].record(tag)
+        if distance != COLD:
+            hit_counts[set_index][min(distance, max_ways)] += 1
+        position += 1
+        if position % interval_length == 0:
+            demands.append(_interval_demands(hit_counts, max_ways))
+            for counts in hit_counts:
+                for index in range(max_ways + 1):
+                    counts[index] = 0
+    if position % interval_length:
+        demands.append(_interval_demands(hit_counts, max_ways))
+    return CapacityDemandProfile(
+        max_ways=max_ways,
+        interval_length=interval_length,
+        demands=demands,
+    )
+
+
+def _interval_demands(
+    hit_counts: Sequence[Sequence[int]], max_ways: int
+) -> List[int]:
+    """Demand of every set for one finished interval."""
+    result: List[int] = []
+    for counts in hit_counts:
+        achievable = sum(counts[:max_ways])  # hits a max_ways set gets
+        if achievable == 0:
+            result.append(0)
+            continue
+        running = 0
+        demand = max_ways
+        for ways in range(1, max_ways + 1):
+            running += counts[ways - 1]
+            if running >= achievable:
+                demand = ways
+                break
+        result.append(demand)
+    return result

@@ -1,0 +1,141 @@
+"""Workload classification — the paper's Figure 6 taxonomy.
+
+The paper sorts applications into three classes by their set-level
+capacity-demand features:
+
+* **Class I** — set-level *non-uniform* demand: some sets need far less
+  than the associativity (potential givers) while others need more —
+  but within cooperative reach (potential takers) — so spatial schemes
+  can help;
+* **Class II** — *poor temporal locality*: a substantial share of
+  accesses re-reference blocks at stack distances beyond the
+  associativity, so insertion-policy (temporal) schemes can help;
+* **Class III** — uniform demand and good locality: LRU suffices.
+
+The classifier derives those properties from the same stack-distance
+machinery as Figure 1.  Two subtleties the paper's definitions force:
+
+* a set whose loop exceeds even the 32-way oracle has *capacity demand
+  zero* (no amount of associativity resolves its conflicts), so a
+  giver must additionally show almost no distant re-references —
+  otherwise unreachable thrashers would masquerade as givers;
+* a taker only counts when its demand lies within the oracle bound,
+  i.e. extra capacity would actually convert misses into hits (the
+  lesson of Figure 2's Example #3).
+
+A workload can legitimately score as both I and II (the paper: "If a
+benchmark belongs to both Class I and Class II, STEM can outperform
+both temporal and spatial schemes simultaneously").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.analysis.capacity_demand import profile_capacity_demand
+from repro.analysis.stack_distance import COLD, StackDistanceProfiler
+from repro.common.addressing import AddressMapper
+from repro.workloads.trace import Trace
+
+
+@dataclass(frozen=True)
+class WorkloadClassification:
+    """Scores and class flags for one workload at one associativity."""
+
+    associativity: int
+    giver_fraction: float      # quiet sets needing <= associativity // 2
+    taker_fraction: float      # sets demanding (assoc, max_ways] lines
+    thrash_fraction: float     # accesses re-referenced at distance >= assoc
+    conflict_fraction: float   # re-references missing at `associativity`
+    spatially_improvable: bool
+    temporally_improvable: bool
+
+    @property
+    def label(self) -> str:
+        """'I', 'II', 'I+II' or 'III' following Figure 6."""
+        if self.spatially_improvable and self.temporally_improvable:
+            return "I+II"
+        if self.spatially_improvable:
+            return "I"
+        if self.temporally_improvable:
+            return "II"
+        return "III"
+
+
+def classify_trace(
+    trace: Trace,
+    num_sets: int,
+    associativity: int = 16,
+    max_ways: int = 32,
+    giver_threshold: float = 0.12,
+    taker_threshold: float = 0.08,
+    thrash_threshold: float = 0.08,
+    quiet_threshold: float = 0.05,
+) -> WorkloadClassification:
+    """Classify ``trace`` per the Figure 6 taxonomy (see module doc)."""
+    profile = profile_capacity_demand(
+        trace,
+        num_sets=num_sets,
+        max_ways=max_ways,
+        interval_length=max(1, len(trace) // 4),
+    )
+    # Mean demand per set across intervals.
+    mean_demand: List[float] = [0.0] * num_sets
+    for interval in profile.demands:
+        for set_index, demand in enumerate(interval):
+            mean_demand[set_index] += demand
+    intervals = max(1, profile.num_intervals)
+    mean_demand = [value / intervals for value in mean_demand]
+    # Per-set distant-re-reference statistics from a bounded stack.
+    mapper = AddressMapper(
+        num_sets=num_sets,
+        line_size=trace.metadata.line_size,
+        address_bits=trace.metadata.address_bits,
+    )
+    profilers = [
+        StackDistanceProfiler(max_depth=max_ways + 1) for _ in range(num_sets)
+    ]
+    set_accesses = [0] * num_sets
+    set_distant = [0] * num_sets
+    re_references = 0
+    distant_total = 0
+    for address in trace.addresses:
+        set_index, tag = mapper.split(address)
+        set_accesses[set_index] += 1
+        distance = profilers[set_index].record(tag)
+        if distance == COLD:
+            continue
+        re_references += 1
+        if distance >= associativity:
+            set_distant[set_index] += 1
+            distant_total += 1
+    givers = 0
+    takers = 0
+    for set_index in range(num_sets):
+        accesses = set_accesses[set_index]
+        distant_rate = set_distant[set_index] / accesses if accesses else 0.0
+        if (
+            mean_demand[set_index] <= associativity // 2
+            and distant_rate < quiet_threshold
+        ):
+            givers += 1
+        elif mean_demand[set_index] > associativity:
+            takers += 1
+    giver_fraction = givers / num_sets
+    taker_fraction = takers / num_sets
+    total = max(1, len(trace.addresses))
+    thrash_fraction = distant_total / total
+    conflict_fraction = distant_total / max(1, re_references)
+    return WorkloadClassification(
+        associativity=associativity,
+        giver_fraction=giver_fraction,
+        taker_fraction=taker_fraction,
+        thrash_fraction=thrash_fraction,
+        conflict_fraction=conflict_fraction,
+        spatially_improvable=(
+            giver_fraction >= giver_threshold
+            and taker_fraction >= taker_threshold
+        ),
+        temporally_improvable=thrash_fraction >= thrash_threshold,
+    )

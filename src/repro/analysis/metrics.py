@@ -1,0 +1,100 @@
+"""Performance metrics: MPKI, AMAT, CPI and normalisation helpers.
+
+Definitions follow DESIGN.md §7 and the paper's Section 5.1: MPKI is
+misses per thousand instructions; AMAT is the L2-local average access
+time under the paper's latency model; CPI comes from the analytic core
+model.  All of the paper's headline numbers are *normalised to LRU*,
+so the module also provides per-benchmark normalisation and the
+geometric mean used for the summary bars.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping
+
+from repro.common.errors import ConfigError
+from repro.common.stats import CacheStats
+from repro.timing.cpi import PAPER_CPI, CpiModel
+from repro.timing.latency import PAPER_LATENCY, LatencyModel
+
+
+def mpki(misses: int, instructions: int) -> float:
+    """Misses per kilo-instruction."""
+    if instructions <= 0:
+        raise ConfigError(f"instructions must be positive, got {instructions}")
+    return misses * 1000.0 / instructions
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean; requires every value to be positive."""
+    values = list(values)
+    if not values:
+        raise ConfigError("geomean of an empty sequence")
+    if any(value <= 0.0 for value in values):
+        raise ConfigError("geomean requires positive values")
+    return math.exp(sum(math.log(value) for value in values) / len(values))
+
+
+@dataclass(frozen=True)
+class MetricSet:
+    """MPKI / AMAT / CPI of one (scheme, workload) run."""
+
+    scheme: str
+    workload: str
+    mpki: float
+    amat: float
+    cpi: float
+    miss_rate: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat view for tables."""
+        return {
+            "mpki": self.mpki,
+            "amat": self.amat,
+            "cpi": self.cpi,
+            "miss_rate": self.miss_rate,
+        }
+
+
+def evaluate_run(
+    scheme: str,
+    workload: str,
+    stats: CacheStats,
+    instructions: int,
+    latency: LatencyModel = PAPER_LATENCY,
+    cpi_model: CpiModel = PAPER_CPI,
+) -> MetricSet:
+    """Fold raw cache statistics into the paper's three metrics."""
+    return MetricSet(
+        scheme=scheme,
+        workload=workload,
+        mpki=mpki(stats.misses, instructions),
+        amat=latency.amat(stats),
+        cpi=cpi_model.cpi(instructions, stats, latency),
+        miss_rate=stats.miss_rate,
+    )
+
+
+def normalize_to_baseline(
+    metric_by_scheme: Mapping[str, float], baseline: str = "LRU"
+) -> Dict[str, float]:
+    """Each scheme's metric divided by the baseline's (Figures 7-9)."""
+    if baseline not in metric_by_scheme:
+        raise ConfigError(f"baseline {baseline!r} missing from results")
+    base = metric_by_scheme[baseline]
+    if base <= 0.0:
+        raise ConfigError(f"baseline metric must be positive, got {base}")
+    return {
+        scheme: value / base for scheme, value in metric_by_scheme.items()
+    }
+
+
+def improvement_over_baseline(normalized_value: float) -> float:
+    """Convert a normalised metric to a percent improvement over LRU.
+
+    The paper phrases results as e.g. "improves MPKI by 21.4%", i.e.
+    ``1 - normalized`` expressed in percent.
+    """
+    return (1.0 - normalized_value) * 100.0

@@ -1,0 +1,145 @@
+"""Reuse-distance summaries and working-set estimation.
+
+Convenience analyses layered on the stack-distance machinery: compact
+summaries of a trace's temporal locality (the quantities Section 3's
+arguments are phrased in), per-set working-set size estimates, and the
+full LRU miss curve — the "how much cache does this workload actually
+want" question that motivates capacity management in the first place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.analysis.stack_distance import COLD, StackDistanceProfiler
+from repro.common.addressing import AddressMapper
+from repro.common.errors import ConfigError
+from repro.workloads.trace import Trace
+
+
+@dataclass(frozen=True)
+class ReuseSummary:
+    """Aggregate temporal-locality statistics of one trace."""
+
+    accesses: int
+    cold_fraction: float        # first-ever references
+    median_distance: float      # over re-references (clamped domain)
+    mean_distance: float
+    distant_fraction: float     # re-references at >= clamp distance
+    distance_histogram: Dict[int, int]
+
+
+def summarize_reuse(
+    trace: Trace,
+    num_sets: int,
+    clamp: int = 64,
+) -> ReuseSummary:
+    """Per-set stack distances folded into one trace-level summary."""
+    if clamp <= 0:
+        raise ConfigError(f"clamp must be positive, got {clamp}")
+    mapper = AddressMapper(
+        num_sets=num_sets,
+        line_size=trace.metadata.line_size,
+        address_bits=trace.metadata.address_bits,
+    )
+    profilers = [
+        StackDistanceProfiler(max_depth=clamp) for _ in range(num_sets)
+    ]
+    histogram: Dict[int, int] = {}
+    cold = 0
+    total_distance = 0
+    re_references = 0
+    distant = 0
+    for address in trace.addresses:
+        set_index, tag = mapper.split(address)
+        distance = profilers[set_index].record(tag)
+        if distance == COLD:
+            cold += 1
+            continue
+        distance = min(distance, clamp)
+        histogram[distance] = histogram.get(distance, 0) + 1
+        total_distance += distance
+        re_references += 1
+        distant += distance >= clamp
+    accesses = len(trace.addresses)
+    median = 0.0
+    if re_references:
+        target = re_references / 2.0
+        running = 0
+        for distance in sorted(histogram):
+            running += histogram[distance]
+            if running >= target:
+                median = float(distance)
+                break
+    return ReuseSummary(
+        accesses=accesses,
+        cold_fraction=cold / max(1, accesses),
+        median_distance=median,
+        mean_distance=total_distance / max(1, re_references),
+        distant_fraction=distant / max(1, re_references),
+        distance_histogram=histogram,
+    )
+
+
+def lru_miss_curve(
+    trace: Trace,
+    num_sets: int,
+    associativities: "List[int]",
+    clamp: int = 64,
+) -> Dict[int, float]:
+    """LRU miss rate at several associativities from one profiling pass.
+
+    The Mattson property makes the whole curve computable in one sweep:
+    an access hits at associativity ``a`` iff its per-set stack
+    distance is below ``a``.
+    """
+    if not associativities:
+        raise ConfigError("need at least one associativity")
+    top = max(associativities)
+    if top > clamp:
+        raise ConfigError(
+            f"clamp ({clamp}) must cover the largest associativity ({top})"
+        )
+    mapper = AddressMapper(
+        num_sets=num_sets,
+        line_size=trace.metadata.line_size,
+        address_bits=trace.metadata.address_bits,
+    )
+    profilers = [
+        StackDistanceProfiler(max_depth=clamp) for _ in range(num_sets)
+    ]
+    # hits_below[a] counts accesses whose distance < a for the queried
+    # associativities only.
+    sorted_assocs = sorted(set(associativities))
+    hits = {a: 0 for a in sorted_assocs}
+    total = 0
+    for address in trace.addresses:
+        set_index, tag = mapper.split(address)
+        distance = profilers[set_index].record(tag)
+        total += 1
+        if distance == COLD:
+            continue
+        for a in sorted_assocs:
+            if distance < a:
+                hits[a] += 1
+    return {
+        a: 1.0 - hits[a] / max(1, total) for a in sorted_assocs
+    }
+
+
+def working_set_sizes(
+    trace: Trace,
+    num_sets: int,
+) -> List[int]:
+    """Distinct blocks touched per set — the raw Figure 1 ingredient."""
+    mapper = AddressMapper(
+        num_sets=num_sets,
+        line_size=trace.metadata.line_size,
+        address_bits=trace.metadata.address_bits,
+    )
+    seen: List[set] = [set() for _ in range(num_sets)]
+    for address in trace.addresses:
+        set_index, tag = mapper.split(address)
+        seen[set_index].add(tag)
+    return [len(tags) for tags in seen]

@@ -1,0 +1,33 @@
+"""Access outcome classification shared by all simulated LLC schemes.
+
+The paper's timing model (Section 5.1) distinguishes exactly four access
+outcomes, so every cache's ``access()`` returns one of these integer
+codes and the latency model maps codes to cycles:
+
+* ``LOCAL_HIT``    — hit in the home set: one tag probe + one data access
+  (6 + 8 = 14 cycles).
+* ``COOP_HIT``     — "second hit" in the cooperative set (SBC/STEM only):
+  two tag probes + one data access (20 cycles).
+* ``MISS``         — miss after a single tag probe (uncoupled or giver
+  set): 6 cycles + DRAM.
+* ``MISS_COOP``    — coupled taker missing in both its own and the
+  cooperative set: two consecutive tag probes, 12 cycles + DRAM.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+
+class AccessKind(IntEnum):
+    """Outcome of a single LLC access (see module docstring)."""
+
+    LOCAL_HIT = 0
+    COOP_HIT = 1
+    MISS = 2
+    MISS_COOP = 3
+
+    @property
+    def is_hit(self) -> bool:
+        """True for either hit flavour."""
+        return self in (AccessKind.LOCAL_HIT, AccessKind.COOP_HIT)

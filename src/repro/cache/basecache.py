@@ -1,0 +1,180 @@
+"""A set-associative cache with a pluggable replacement policy.
+
+This is the conventional LLC of Section 2.1 — the organization every
+temporal scheme (LRU, LIP, BIP, DIP, PeLIFO, ...) runs on — and also
+serves as the L1 model in the two-level hierarchy.  Spatial schemes
+(V-Way, SBC) and STEM have their own cache classes because they break
+the "one set, fixed associativity" assumption this class encodes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.cache.access import AccessKind
+from repro.cache.block import BlockView
+from repro.cache.geometry import CacheGeometry
+from repro.common.rng import Lfsr
+from repro.common.stats import CacheStats
+from repro.policies.base import ReplacementPolicy
+
+#: Callback signature for eviction notifications: (block_address, dirty).
+EvictionListener = Callable[[int, bool], None]
+
+
+class SetAssociativeCache:
+    """Conventional set-associative cache driven by a policy object.
+
+    Parameters
+    ----------
+    geometry:
+        Shape of the cache.
+    policy:
+        A fresh :class:`ReplacementPolicy`; the cache calls ``attach``
+        on it, so one policy object must never serve two caches.
+    rng:
+        Deterministic LFSR shared with the policy (BIP/DIP randomness).
+    eviction_listener:
+        Optional callback invoked with ``(block_address, dirty)`` for
+        every block evicted by replacement — the hierarchy uses it to
+        propagate L1 write-backs into the L2.
+    """
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        policy: ReplacementPolicy,
+        rng: Optional[Lfsr] = None,
+        eviction_listener: Optional[EvictionListener] = None,
+    ) -> None:
+        self.geometry = geometry
+        self.mapper = geometry.mapper
+        self.policy = policy
+        self.rng = rng if rng is not None else Lfsr()
+        self.eviction_listener = eviction_listener
+        policy.attach(geometry.num_sets, geometry.associativity, self.rng)
+        self.stats = CacheStats()
+        num_sets = geometry.num_sets
+        assoc = geometry.associativity
+        self._tag_to_way: List[dict] = [{} for _ in range(num_sets)]
+        self._way_tag: List[List[Optional[int]]] = [
+            [None] * assoc for _ in range(num_sets)
+        ]
+        self._dirty: List[List[bool]] = [
+            [False] * assoc for _ in range(num_sets)
+        ]
+        # Stack of free ways per set; pop() hands out way 0 first.
+        self._free_ways: List[List[int]] = [
+            list(range(assoc - 1, -1, -1)) for _ in range(num_sets)
+        ]
+
+    @property
+    def name(self) -> str:
+        """Scheme name for result tables: the policy's name."""
+        return self.policy.name
+
+    # ------------------------------------------------------------------
+    # Main access path
+    # ------------------------------------------------------------------
+
+    def access(self, address: int, is_write: bool = False) -> AccessKind:
+        """Look up ``address``; fill on miss; return the outcome kind."""
+        set_index, tag = self.mapper.split(address)
+        stats = self.stats
+        stats.accesses += 1
+        table = self._tag_to_way[set_index]
+        way = table.get(tag)
+        if way is not None:
+            stats.hits += 1
+            stats.local_hits += 1
+            if is_write:
+                self._dirty[set_index][way] = True
+            self.policy.on_hit(set_index, way)
+            return AccessKind.LOCAL_HIT
+        stats.misses += 1
+        stats.misses_single_probe += 1
+        self.policy.on_miss(set_index)
+        free = self._free_ways[set_index]
+        if free:
+            way = free.pop()
+        else:
+            way = self.policy.victim(set_index)
+            self._evict(set_index, way)
+        table[tag] = way
+        self._way_tag[set_index][way] = tag
+        self._dirty[set_index][way] = is_write
+        self.policy.on_fill(set_index, way)
+        return AccessKind.MISS
+
+    def _evict(self, set_index: int, way: int) -> None:
+        """Remove the block in ``way`` and account for its write-back."""
+        old_tag = self._way_tag[set_index][way]
+        del self._tag_to_way[set_index][old_tag]
+        self.stats.evictions += 1
+        dirty = self._dirty[set_index][way]
+        if dirty:
+            self.stats.writebacks += 1
+            self._dirty[set_index][way] = False
+        if self.eviction_listener is not None:
+            block_address = self.mapper.compose(old_tag, set_index)
+            self.eviction_listener(block_address, dirty)
+
+    # ------------------------------------------------------------------
+    # Inspection & maintenance (tests, analyses, coherence shims)
+    # ------------------------------------------------------------------
+
+    def contains(self, address: int) -> bool:
+        """True when the block holding ``address`` is resident."""
+        set_index, tag = self.mapper.split(address)
+        return tag in self._tag_to_way[set_index]
+
+    def invalidate(self, address: int) -> bool:
+        """Drop the block holding ``address``; True if it was resident."""
+        set_index, tag = self.mapper.split(address)
+        way = self._tag_to_way[set_index].pop(tag, None)
+        if way is None:
+            return False
+        self._way_tag[set_index][way] = None
+        self._dirty[set_index][way] = False
+        self._free_ways[set_index].append(way)
+        self.policy.on_invalidate(set_index, way)
+        return True
+
+    def set_occupancy(self, set_index: int) -> int:
+        """Number of valid blocks currently in ``set_index``."""
+        return len(self._tag_to_way[set_index])
+
+    def resident_blocks(self, set_index: int) -> List[BlockView]:
+        """Immutable views of the valid blocks in ``set_index``."""
+        views = []
+        for tag, way in sorted(self._tag_to_way[set_index].items()):
+            views.append(
+                BlockView(
+                    set_index=set_index,
+                    way=way,
+                    tag=tag,
+                    dirty=self._dirty[set_index][way],
+                )
+            )
+        return views
+
+    def reset_stats(self) -> None:
+        """Zero the statistics (e.g. after a warm-up phase)."""
+        self.stats = CacheStats()
+
+    def check_invariants(self) -> None:
+        """Assert internal consistency; used by property tests."""
+        for set_index in range(self.geometry.num_sets):
+            table = self._tag_to_way[set_index]
+            ways = list(table.values())
+            assert len(ways) == len(set(ways)), (
+                f"duplicate way mapping in set {set_index}"
+            )
+            for tag, way in table.items():
+                assert self._way_tag[set_index][way] == tag, (
+                    f"tag/way mismatch in set {set_index} way {way}"
+                )
+            occupancy = len(table) + len(self._free_ways[set_index])
+            assert occupancy == self.geometry.associativity, (
+                f"set {set_index}: valid+free != associativity"
+            )

@@ -1,0 +1,40 @@
+"""Read-only views of cache contents used by tests and analyses.
+
+The hot simulation paths keep their state in parallel lists for speed;
+these small dataclasses are what the inspection APIs hand back so that
+callers never see (or mutate) internal arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BlockView:
+    """One resident cache block as seen from outside the simulator.
+
+    ``cooperative`` mirrors the paper's CC bit: True when the block does
+    not belong to the set it physically occupies but was spilled there
+    by the coupled taker set (SBC/STEM only).
+    """
+
+    set_index: int
+    way: int
+    tag: int
+    dirty: bool = False
+    cooperative: bool = False
+
+    @property
+    def cc_bit(self) -> int:
+        """The CC bit of Figure 4 as an integer."""
+        return 1 if self.cooperative else 0
+
+
+@dataclass(frozen=True)
+class ShadowView:
+    """One valid shadow-set entry (an m-bit hashed victim tag)."""
+
+    set_index: int
+    way: int
+    hashed_tag: int

@@ -1,0 +1,86 @@
+"""Cache geometry: the static shape every simulated cache is built from."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.addressing import AddressMapper
+from repro.common.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Shape of a set-associative cache.
+
+    The paper's LLC (Table 1) is 2 MB, 16-way, 64 B lines → 2048 sets;
+    ``CacheGeometry(num_sets=2048, associativity=16, line_size=64)``.
+    """
+
+    num_sets: int
+    associativity: int
+    line_size: int = 64
+    address_bits: int = 44
+
+    def __post_init__(self) -> None:
+        if self.associativity <= 0:
+            raise ConfigError(
+                f"associativity must be positive, got {self.associativity}"
+            )
+        # AddressMapper validates num_sets / line_size / address_bits.
+        mapper = AddressMapper(
+            num_sets=self.num_sets,
+            line_size=self.line_size,
+            address_bits=self.address_bits,
+        )
+        object.__setattr__(self, "_mapper", mapper)
+
+    @property
+    def mapper(self) -> AddressMapper:
+        """The address decomposition for this geometry."""
+        return self._mapper
+
+    @property
+    def num_lines(self) -> int:
+        """Total number of cache lines."""
+        return self.num_sets * self.associativity
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Total data capacity in bytes."""
+        return self.num_lines * self.line_size
+
+    @property
+    def tag_bits(self) -> int:
+        """Width of a tag-store tag field."""
+        return self._mapper.tag_bits
+
+    def with_associativity(self, associativity: int) -> "CacheGeometry":
+        """Same geometry with a different associativity (for sweeps)."""
+        return CacheGeometry(
+            num_sets=self.num_sets,
+            associativity=associativity,
+            line_size=self.line_size,
+            address_bits=self.address_bits,
+        )
+
+    @classmethod
+    def from_capacity(
+        cls,
+        capacity_bytes: int,
+        associativity: int,
+        line_size: int = 64,
+        address_bits: int = 44,
+    ) -> "CacheGeometry":
+        """Build a geometry from a capacity instead of a set count."""
+        line_budget = capacity_bytes // (line_size * associativity)
+        if line_budget * line_size * associativity != capacity_bytes:
+            raise ConfigError(
+                f"capacity {capacity_bytes} is not divisible into "
+                f"{associativity}-way sets of {line_size}-byte lines"
+            )
+        return cls(
+            num_sets=line_budget,
+            associativity=associativity,
+            line_size=line_size,
+            address_bits=address_bits,
+        )

@@ -1,0 +1,122 @@
+"""Two-level cache hierarchy: L1 in front of a pluggable LLC.
+
+Reproduces the memory system of Table 1: a 32 KB 2-way L1 (I and D are
+modelled as one demand stream by default, matching the trace-driven
+substitution in DESIGN.md §4), MSHRs and write buffers at both levels,
+and a flat-latency DRAM behind the LLC.  The LLC slot accepts *any*
+scheme object exposing ``access(address, is_write) -> AccessKind`` —
+a plain :class:`~repro.cache.basecache.SetAssociativeCache`, a V-Way or
+SBC cache, or STEM.
+
+The headline experiments drive the LLC directly with L2-level traces
+(the paper's figures are L2-centric); the hierarchy is used by the
+integration tests, the quickstart example and the hierarchy-mode
+experiments where total AMAT including the L1 matters.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cache.access import AccessKind
+from repro.cache.basecache import SetAssociativeCache
+from repro.cache.geometry import CacheGeometry
+from repro.cache.memory import MainMemory
+from repro.cache.mshr import MshrFile
+from repro.cache.writebuffer import WriteBuffer
+from repro.common.rng import Lfsr
+from repro.policies.lru import LruPolicy
+from repro.timing.latency import LatencyModel
+
+
+def default_l1_geometry(line_size: int = 64, address_bits: int = 44) -> CacheGeometry:
+    """Table 1's L1D: 32 KB, 2-way, 64 B lines."""
+    return CacheGeometry.from_capacity(
+        capacity_bytes=32 * 1024,
+        associativity=2,
+        line_size=line_size,
+        address_bits=address_bits,
+    )
+
+
+class CacheHierarchy:
+    """L1 -> LLC -> DRAM with MSHR and write-buffer accounting."""
+
+    def __init__(
+        self,
+        llc,
+        l1_geometry: Optional[CacheGeometry] = None,
+        memory: Optional[MainMemory] = None,
+        latency: Optional[LatencyModel] = None,
+        l1_hit_cycles: int = 2,
+        l1_mshrs: int = 16,
+        llc_mshrs: int = 64,
+        l1_write_buffer: int = 8,
+        llc_write_buffer: int = 32,
+        rng: Optional[Lfsr] = None,
+    ) -> None:
+        self.llc = llc
+        geometry = l1_geometry if l1_geometry is not None else default_l1_geometry()
+        self.l1 = SetAssociativeCache(
+            geometry,
+            LruPolicy(),
+            rng=rng if rng is not None else Lfsr(seed=0xBEEF),
+            eviction_listener=self._on_l1_eviction,
+        )
+        self.memory = memory if memory is not None else MainMemory()
+        self.latency = latency if latency is not None else LatencyModel()
+        self.l1_hit_cycles = l1_hit_cycles
+        self.l1_mshr = MshrFile(l1_mshrs, miss_latency=self.latency.miss_cycles)
+        self.llc_mshr = MshrFile(llc_mshrs, miss_latency=self.latency.memory_cycles)
+        self.l1_wb = WriteBuffer(l1_write_buffer)
+        self.llc_wb = WriteBuffer(llc_write_buffer)
+        self.total_cycles = 0
+        self.instructions = 0
+
+    def _on_l1_eviction(self, block_address: int, dirty: bool) -> None:
+        """Propagate dirty L1 victims to the LLC as write-backs."""
+        if not dirty:
+            return
+        self.l1_wb.push(block_address)
+        # Mostly-inclusive hierarchy: the write-back lands in the LLC
+        # (allocating on the rare occasion it was already evicted).
+        self.llc.access(block_address, is_write=True)
+
+    def access(self, address: int, is_write: bool = False) -> str:
+        """Service one demand access; returns 'l1', 'llc' or 'memory'."""
+        self.l1_mshr.tick()
+        self.llc_mshr.tick()
+        self.l1_wb.tick()
+        self.llc_wb.tick()
+        l1_kind = self.l1.access(address, is_write=is_write)
+        if l1_kind.is_hit:
+            self.total_cycles += self.l1_hit_cycles
+            return "l1"
+        block = self.l1.mapper.block_address(address)
+        self.l1_mshr.register_miss(block)
+        llc_kind = self.llc.access(address, is_write=False)
+        self.total_cycles += self.l1_hit_cycles + self.latency.cycles_for(llc_kind)
+        if llc_kind.is_hit:
+            return "llc"
+        merged = self.llc_mshr.register_miss(block)
+        if not merged:
+            self.memory.read_line()
+        return "memory"
+
+    def retire_instructions(self, count: int) -> None:
+        """Record retired instructions for CPI accounting."""
+        self.instructions += count
+
+    @property
+    def amat_cycles(self) -> float:
+        """Observed average cycles per demand access (L1 included)."""
+        accesses = self.l1.stats.accesses
+        if accesses == 0:
+            return 0.0
+        return self.total_cycles / accesses
+
+    def drain(self) -> None:
+        """Flush write buffers at the end of a run."""
+        for buffer in (self.l1_wb, self.llc_wb):
+            for _ in range(buffer.flush()):
+                self.memory.write_line()

@@ -1,0 +1,79 @@
+"""Main memory and bus models.
+
+The paper charges a flat 300-cycle latency for DRAM (Table 1) with a
+16 B/cycle bus at a 2:1 speed ratio and 1-cycle arbitration.  The
+:class:`MainMemory` model reproduces that: a fixed access latency plus
+the bus transfer time for one cache line.  Counters track reads (line
+fills) and writes (write-backs) so experiments can report off-chip
+traffic alongside MPKI.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigError
+
+
+class Bus:
+    """A simple bandwidth/arbitration model of the memory bus."""
+
+    def __init__(
+        self,
+        bytes_per_cycle: int = 16,
+        speed_ratio: int = 2,
+        arbitration_cycles: int = 1,
+    ) -> None:
+        if bytes_per_cycle <= 0:
+            raise ConfigError(
+                f"bytes_per_cycle must be positive, got {bytes_per_cycle}"
+            )
+        if speed_ratio <= 0:
+            raise ConfigError(f"speed_ratio must be positive, got {speed_ratio}")
+        if arbitration_cycles < 0:
+            raise ConfigError(
+                f"arbitration_cycles must be >= 0, got {arbitration_cycles}"
+            )
+        self.bytes_per_cycle = bytes_per_cycle
+        self.speed_ratio = speed_ratio
+        self.arbitration_cycles = arbitration_cycles
+        self.transfers = 0
+
+    def transfer_cycles(self, num_bytes: int) -> int:
+        """Core cycles to move ``num_bytes`` across the bus."""
+        self.transfers += 1
+        bus_cycles = -(-num_bytes // self.bytes_per_cycle)  # ceil division
+        return self.arbitration_cycles + bus_cycles * self.speed_ratio
+
+
+class MainMemory:
+    """Flat-latency DRAM with read/write traffic accounting."""
+
+    def __init__(self, latency_cycles: int = 300, line_size: int = 64,
+                 bus: "Bus | None" = None) -> None:
+        if latency_cycles <= 0:
+            raise ConfigError(
+                f"latency_cycles must be positive, got {latency_cycles}"
+            )
+        self.latency_cycles = latency_cycles
+        self.line_size = line_size
+        self.bus = bus
+        self.reads = 0
+        self.writes = 0
+
+    def read_line(self) -> int:
+        """Fetch one line; returns the latency in core cycles."""
+        self.reads += 1
+        if self.bus is not None:
+            return self.latency_cycles + self.bus.transfer_cycles(self.line_size)
+        return self.latency_cycles
+
+    def write_line(self) -> int:
+        """Write one line back; returns the latency in core cycles."""
+        self.writes += 1
+        if self.bus is not None:
+            return self.latency_cycles + self.bus.transfer_cycles(self.line_size)
+        return self.latency_cycles
+
+    @property
+    def traffic_lines(self) -> int:
+        """Total lines moved to/from DRAM."""
+        return self.reads + self.writes

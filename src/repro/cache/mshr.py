@@ -1,0 +1,72 @@
+"""Miss Status Holding Registers — in-flight miss tracking.
+
+The trace-driven simulator processes one access at a time, so MSHRs are
+modelled along a logical clock: a miss occupies an entry for
+``miss_latency`` ticks (one tick per cache access).  A second miss to
+the same block while an entry is live is a *secondary* miss — it merges
+into the existing entry instead of generating new DRAM traffic, exactly
+the coalescing real MSHRs perform.  When all entries are busy the cache
+would stall; we count those events.
+
+The L2 configuration of Table 1 (64 MSHRs) makes stalls rare; the
+counters mainly feed the hierarchy statistics and the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.common.errors import ConfigError
+
+
+class MshrFile:
+    """A fixed-capacity file of miss status holding registers."""
+
+    def __init__(self, capacity: int, miss_latency: int = 300) -> None:
+        if capacity <= 0:
+            raise ConfigError(f"capacity must be positive, got {capacity}")
+        if miss_latency <= 0:
+            raise ConfigError(
+                f"miss_latency must be positive, got {miss_latency}"
+            )
+        self.capacity = capacity
+        self.miss_latency = miss_latency
+        self._entries: Dict[int, int] = {}  # block address -> completion tick
+        self._now = 0
+        self.primary_misses = 0
+        self.secondary_misses = 0
+        self.stalls = 0
+
+    def tick(self) -> None:
+        """Advance the logical clock by one access and retire entries."""
+        self._now += 1
+        if len(self._entries) > self.capacity // 2:
+            self._reap()
+
+    def _reap(self) -> None:
+        now = self._now
+        finished = [addr for addr, done in self._entries.items() if done <= now]
+        for addr in finished:
+            del self._entries[addr]
+
+    def register_miss(self, block_address: int) -> bool:
+        """Record a miss; return True if it was merged (secondary)."""
+        self._reap()
+        if block_address in self._entries:
+            self.secondary_misses += 1
+            return True
+        if len(self._entries) >= self.capacity:
+            self.stalls += 1
+            # The stalled request eventually allocates once an entry
+            # retires; model that by evicting the oldest entry.
+            oldest = min(self._entries, key=self._entries.get)
+            del self._entries[oldest]
+        self._entries[block_address] = self._now + self.miss_latency
+        self.primary_misses += 1
+        return False
+
+    @property
+    def outstanding(self) -> int:
+        """Number of live entries at the current tick."""
+        self._reap()
+        return len(self._entries)

@@ -1,0 +1,260 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``run``      simulate one scheme on one benchmark and print the metrics
+``compare``  run several schemes on one benchmark side by side
+``sweep``    MPKI vs associativity for chosen schemes
+``profile``  Figure 1-style capacity-demand profile + classification
+``figure``   regenerate one of the paper's figures/tables by name
+``overhead`` print the Table 3 storage budget
+``list``     enumerate available schemes and benchmarks
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from repro.analysis.capacity_demand import profile_capacity_demand
+from repro.analysis.classification import classify_trace
+from repro.experiments import (
+    ablations,
+    figure1,
+    figure2,
+    figure3,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    headline,
+    hierarchy_mode,
+    optgap,
+    table2,
+    table3,
+    traffic,
+)
+from repro.analysis.report import build_report, render_report
+from repro.sim.config import ExperimentScale, available_schemes, make_scheme
+from repro.sim.results import format_series
+from repro.sim.runner import associativity_sweep
+from repro.sim.simulator import run_trace
+from repro.workloads.spec_like import benchmark_names, make_benchmark_trace
+
+_FIGURES = {
+    "figure1": figure1,
+    "figure2": figure2,
+    "figure3": figure3,
+    "figure7": figure7,
+    "figure8": figure8,
+    "figure9": figure9,
+    "figure10": figure10,
+    "table2": table2,
+    "table3": table3,
+    "headline": headline,
+    "ablations": ablations,
+    "traffic": traffic,
+    "hierarchy": hierarchy_mode,
+    "optgap": optgap,
+}
+
+
+def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--sets", type=int, default=256,
+                        help="number of LLC sets (default 256)")
+    parser.add_argument("--assoc", type=int, default=16,
+                        help="associativity (default 16)")
+    parser.add_argument("--length", type=int, default=300_000,
+                        help="trace length in accesses (default 300000)")
+
+
+def _scale_from(args: argparse.Namespace) -> ExperimentScale:
+    return ExperimentScale(
+        num_sets=args.sets,
+        associativity=args.assoc,
+        trace_length=args.length,
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    scale = _scale_from(args)
+    trace = make_benchmark_trace(
+        args.benchmark, num_sets=scale.num_sets, length=scale.trace_length
+    )
+    cache = make_scheme(args.scheme, scale.geometry())
+    result = run_trace(cache, trace, warmup_fraction=scale.warmup_fraction)
+    print(f"{result.scheme} on {result.trace_name}: "
+          f"MPKI={result.mpki:.3f}  AMAT={result.amat:.2f}  "
+          f"CPI={result.cpi:.3f}  miss_rate={result.miss_rate:.3f}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    scale = _scale_from(args)
+    trace = make_benchmark_trace(
+        args.benchmark, num_sets=scale.num_sets, length=scale.trace_length
+    )
+    baseline = None
+    print(f"{'scheme':>10s} {'MPKI':>9s} {'AMAT':>9s} {'CPI':>8s} "
+          f"{'vs LRU':>8s}")
+    for scheme in args.schemes.split(","):
+        cache = make_scheme(scheme.strip(), scale.geometry())
+        result = run_trace(
+            cache, trace, warmup_fraction=scale.warmup_fraction
+        )
+        if baseline is None:
+            baseline = result.mpki
+        relative = result.mpki / baseline if baseline else float("nan")
+        print(f"{result.scheme:>10s} {result.mpki:>9.3f} "
+              f"{result.amat:>9.2f} {result.cpi:>8.3f} {relative:>8.3f}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    scale = _scale_from(args)
+    trace = make_benchmark_trace(
+        args.benchmark, num_sets=scale.num_sets, length=scale.trace_length
+    )
+    associativities = [int(a) for a in args.associativities.split(",")]
+    schemes = [s.strip() for s in args.schemes.split(",")]
+    curves = associativity_sweep(trace, schemes, associativities, scale=scale)
+    series = {
+        scheme: [result.mpki for result in results]
+        for scheme, results in curves.items()
+    }
+    print(format_series(
+        series, associativities,
+        x_label="scheme\\assoc",
+        title=f"MPKI vs associativity — {args.benchmark}",
+        precision=2,
+    ))
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    scale = _scale_from(args)
+    trace = make_benchmark_trace(
+        args.benchmark, num_sets=scale.num_sets, length=scale.trace_length
+    )
+    profile = profile_capacity_demand(
+        trace,
+        num_sets=scale.num_sets,
+        interval_length=max(1, scale.trace_length // 8),
+    )
+    print(f"capacity-demand bands for {args.benchmark}:")
+    for band, fraction in profile.mean_distribution().items():
+        if fraction > 0.005:
+            print(f"  {str(band):>10s}: {fraction:6.1%}")
+    result = classify_trace(
+        trace, num_sets=scale.num_sets, associativity=scale.associativity
+    )
+    print(f"classification: Class {result.label} "
+          f"(givers {result.giver_fraction:.1%}, "
+          f"takers {result.taker_fraction:.1%}, "
+          f"thrash {result.thrash_fraction:.1%})")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    scale = _scale_from(args)
+    report = build_report(args.benchmark, scale=scale)
+    print(render_report(report))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    module = _FIGURES[args.name]
+    module.main()
+    return 0
+
+
+def _cmd_overhead(args: argparse.Namespace) -> int:
+    table3.main()
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print("schemes:    " + ", ".join(available_schemes()))
+    print("benchmarks: " + ", ".join(benchmark_names()))
+    print("figures:    " + ", ".join(sorted(_FIGURES)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="STEM (MICRO 2010) reproduction toolkit",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = commands.add_parser(
+        "run", help="simulate one scheme on one benchmark"
+    )
+    run_parser.add_argument("scheme")
+    run_parser.add_argument("benchmark", choices=benchmark_names())
+    _add_scale_arguments(run_parser)
+    run_parser.set_defaults(handler=_cmd_run)
+
+    compare_parser = commands.add_parser(
+        "compare", help="run several schemes side by side"
+    )
+    compare_parser.add_argument("benchmark", choices=benchmark_names())
+    compare_parser.add_argument(
+        "--schemes", default="LRU,DIP,PeLIFO,V-Way,SBC,STEM"
+    )
+    _add_scale_arguments(compare_parser)
+    compare_parser.set_defaults(handler=_cmd_compare)
+
+    sweep_parser = commands.add_parser(
+        "sweep", help="MPKI vs associativity"
+    )
+    sweep_parser.add_argument("benchmark", choices=benchmark_names())
+    sweep_parser.add_argument("--schemes", default="LRU,DIP,SBC,STEM")
+    sweep_parser.add_argument(
+        "--associativities", default="2,4,8,12,16,24,32"
+    )
+    _add_scale_arguments(sweep_parser)
+    sweep_parser.set_defaults(handler=_cmd_sweep)
+
+    profile_parser = commands.add_parser(
+        "profile", help="capacity-demand profile + classification"
+    )
+    profile_parser.add_argument("benchmark", choices=benchmark_names())
+    _add_scale_arguments(profile_parser)
+    profile_parser.set_defaults(handler=_cmd_profile)
+
+    report_parser = commands.add_parser(
+        "report", help="full analysis report for one benchmark"
+    )
+    report_parser.add_argument("benchmark", choices=benchmark_names())
+    _add_scale_arguments(report_parser)
+    report_parser.set_defaults(handler=_cmd_report)
+
+    figure_parser = commands.add_parser(
+        "figure", help="regenerate a paper figure/table"
+    )
+    figure_parser.add_argument("name", choices=sorted(_FIGURES))
+    figure_parser.set_defaults(handler=_cmd_figure)
+
+    overhead_parser = commands.add_parser(
+        "overhead", help="print the Table 3 storage budget"
+    )
+    overhead_parser.set_defaults(handler=_cmd_overhead)
+
+    list_parser = commands.add_parser(
+        "list", help="enumerate schemes, benchmarks and figures"
+    )
+    list_parser.set_defaults(handler=_cmd_list)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

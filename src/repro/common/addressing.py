@@ -1,0 +1,103 @@
+"""Physical-address decomposition for set-associative caches.
+
+A cache views a physical address as ``| tag | set index | block offset |``.
+:class:`AddressMapper` performs the decomposition for a given geometry and
+can also recompose a block address from a ``(tag, set index)`` pair, which
+the simulator uses when it forwards victim blocks between sets.
+
+The paper's configuration (Table 3) uses 44-bit effective physical
+addresses (Alpha 21264 as modelled by M5), 64-byte lines and 2048 LLC
+sets, which yields 27-bit tags; those numbers fall directly out of this
+module and are checked in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True when ``value`` is a positive integral power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_exact(value: int, *, what: str = "value") -> int:
+    """Return ``log2(value)`` or raise :class:`ConfigError` if inexact."""
+    if not is_power_of_two(value):
+        raise ConfigError(f"{what} must be a power of two, got {value}")
+    return value.bit_length() - 1
+
+
+@dataclass(frozen=True)
+class AddressMapper:
+    """Splits physical addresses into (tag, set index, offset) fields.
+
+    Parameters
+    ----------
+    num_sets:
+        Number of cache sets; must be a power of two (the paper uses the
+        plain MOD mapping with a power-of-two base, Section 2.1).
+    line_size:
+        Cache line size in bytes; must be a power of two.
+    address_bits:
+        Width of a physical address.  Table 3 uses 44 bits.
+    """
+
+    num_sets: int
+    line_size: int
+    address_bits: int = 44
+
+    def __post_init__(self) -> None:
+        offset_bits = log2_exact(self.line_size, what="line_size")
+        index_bits = log2_exact(self.num_sets, what="num_sets")
+        if self.address_bits <= offset_bits + index_bits:
+            raise ConfigError(
+                "address_bits must exceed offset+index bits: "
+                f"{self.address_bits} <= {offset_bits} + {index_bits}"
+            )
+        # Bypass frozen dataclass to cache derived fields.
+        object.__setattr__(self, "_offset_bits", offset_bits)
+        object.__setattr__(self, "_index_bits", index_bits)
+        object.__setattr__(self, "_index_mask", self.num_sets - 1)
+
+    @property
+    def offset_bits(self) -> int:
+        """Number of address bits consumed by the block offset."""
+        return self._offset_bits
+
+    @property
+    def index_bits(self) -> int:
+        """Number of address bits consumed by the set index."""
+        return self._index_bits
+
+    @property
+    def tag_bits(self) -> int:
+        """Width of the tag field stored in the tag store."""
+        return self.address_bits - self._offset_bits - self._index_bits
+
+    def block_address(self, address: int) -> int:
+        """Drop the offset bits: the unit the cache actually tracks."""
+        return address >> self._offset_bits
+
+    def set_index(self, address: int) -> int:
+        """Set the address maps to under the MOD placement function."""
+        return (address >> self._offset_bits) & self._index_mask
+
+    def tag(self, address: int) -> int:
+        """Tag field of ``address``."""
+        return address >> (self._offset_bits + self._index_bits)
+
+    def split(self, address: int) -> "tuple[int, int]":
+        """Return ``(set_index, tag)`` in one call (hot path helper)."""
+        block = address >> self._offset_bits
+        return block & self._index_mask, block >> self._index_bits
+
+    def compose(self, tag: int, set_index: int) -> int:
+        """Rebuild the block-aligned physical address for (tag, set)."""
+        if not 0 <= set_index < self.num_sets:
+            raise ConfigError(
+                f"set_index {set_index} out of range [0, {self.num_sets})"
+            )
+        return ((tag << self._index_bits) | set_index) << self._offset_bits

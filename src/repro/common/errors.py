@@ -1,0 +1,32 @@
+"""Exception hierarchy for the STEM reproduction library.
+
+Every error raised intentionally by this package derives from
+:class:`ReproError`, so callers can catch library failures without
+swallowing genuine programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied.
+
+    Raised eagerly at construction time so that a bad experiment setup
+    fails before any simulation cycles are spent.
+    """
+
+
+class TraceError(ReproError):
+    """A memory trace is malformed or inconsistent with its metadata."""
+
+
+class SimulationError(ReproError):
+    """An internal invariant of a simulated structure was violated.
+
+    Seeing this exception indicates a bug in the simulator rather than a
+    user mistake; the message carries enough state to reproduce it.
+    """

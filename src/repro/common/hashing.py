@@ -1,0 +1,97 @@
+"""Hardware-style hash functions for shadow-tag signatures.
+
+STEM stores an ``m``-bit *hash* of each victim block's tag in the shadow
+set (Section 4.2) instead of the full 27-bit tag, citing Ramakrishna et
+al., "Efficient Hardware Hashing Functions for High Performance
+Computers" (IEEE ToC 1997).  That paper advocates the H3 family: each
+output bit is the XOR (parity) of a random subset of input bits, i.e. a
+multiplication by a random 0/1 matrix over GF(2).  The family is cheap in
+hardware (one XOR tree per output bit) and behaves like a universal hash.
+
+:class:`H3Hash` implements exactly that construction with a deterministic,
+seedable matrix so simulations are reproducible.  :func:`fold_xor` is the
+simpler fallback (XOR-folding the tag into ``m`` bits) used by some tests
+as a worst-case comparison.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.common.errors import ConfigError
+from repro.common.rng import Lfsr
+
+
+def parity(value: int) -> int:
+    """Parity (XOR of all bits) of a non-negative integer."""
+    value ^= value >> 32
+    value ^= value >> 16
+    value ^= value >> 8
+    value ^= value >> 4
+    value ^= value >> 2
+    value ^= value >> 1
+    return value & 1
+
+
+def fold_xor(value: int, out_bits: int) -> int:
+    """XOR-fold ``value`` down to ``out_bits`` bits.
+
+    Cheap but correlated: adjacent tags collide in structured ways, which
+    is precisely why the paper prefers the H3 family.  Kept as a baseline
+    for the hashing quality tests.
+    """
+    if out_bits <= 0:
+        raise ConfigError(f"out_bits must be positive, got {out_bits}")
+    mask = (1 << out_bits) - 1
+    folded = 0
+    while value:
+        folded ^= value & mask
+        value >>= out_bits
+    return folded
+
+
+class H3Hash:
+    """H3-family hash: output bit *i* = parity(input & row_i).
+
+    Parameters
+    ----------
+    in_bits:
+        Width of the values being hashed (the tag width).
+    out_bits:
+        Width of the signature (``m`` in the paper; Table 3 uses 10).
+    seed:
+        Seed for the LFSR that draws the random GF(2) matrix.
+    """
+
+    def __init__(self, in_bits: int, out_bits: int, seed: int = 0xACE1) -> None:
+        if in_bits <= 0:
+            raise ConfigError(f"in_bits must be positive, got {in_bits}")
+        if out_bits <= 0:
+            raise ConfigError(f"out_bits must be positive, got {out_bits}")
+        self.in_bits = in_bits
+        self.out_bits = out_bits
+        rng = Lfsr(seed=seed)
+        in_mask = (1 << in_bits) - 1
+        rows: List[int] = []
+        for _ in range(out_bits):
+            row = 0
+            # Draw in_bits of randomness 16 bits at a time from the LFSR.
+            for shift in range(0, in_bits, 16):
+                row |= rng.next_bits(16) << shift
+            row &= in_mask
+            if row == 0:
+                row = 1  # A zero row would make that output bit constant.
+            rows.append(row)
+        self._rows = rows
+        self._mask = (1 << out_bits) - 1
+
+    def __call__(self, value: int) -> int:
+        """Hash ``value`` down to ``out_bits`` bits."""
+        result = 0
+        for i, row in enumerate(self._rows):
+            result |= parity(value & row) << i
+        return result
+
+    def collision_probability(self) -> float:
+        """Ideal collision probability for a universal hash of this width."""
+        return 1.0 / (1 << self.out_bits)

@@ -1,0 +1,106 @@
+"""Deterministic pseudo-random sources modelled after cheap hardware.
+
+The paper relies on randomness in two places: BIP inserts at MRU "with a
+low probability" (1/32 in the DIP paper) and STEM decrements the spatial
+saturating counter once per 2^n LLC hits "in a probabilistic way that the
+counter is decremented only when an n-bit value produced by a random
+number generator is zero" (Section 4.4), noting the generator "can be
+simply incorporated in the LLC controller".  A hardware LLC controller
+would use an LFSR, so we provide one: deterministic, seedable, and
+trivially cheap, which keeps every simulation bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigError
+
+#: Taps for a maximal-length 16-bit Fibonacci LFSR (x^16+x^14+x^13+x^11+1).
+_TAPS_16 = (15, 13, 12, 10)
+
+
+class Lfsr:
+    """16-bit maximal-length linear feedback shift register.
+
+    The period is 2**16 - 1, which is ample for deciding 1/2^n events; the
+    statistical quality requirements here are modest (the hardware being
+    modelled would use something equally simple).
+    """
+
+    def __init__(self, seed: int = 0xACE1) -> None:
+        seed &= 0xFFFF
+        if seed == 0:
+            raise ConfigError("LFSR seed must be non-zero in 16 bits")
+        self._state = seed
+
+    @property
+    def state(self) -> int:
+        """Current 16-bit register contents."""
+        return self._state
+
+    def next_bit(self) -> int:
+        """Advance one step and return the new output bit."""
+        s = self._state
+        bit = ((s >> _TAPS_16[0]) ^ (s >> _TAPS_16[1])
+               ^ (s >> _TAPS_16[2]) ^ (s >> _TAPS_16[3])) & 1
+        self._state = ((s << 1) | bit) & 0xFFFF
+        return bit
+
+    def next_bits(self, width: int) -> int:
+        """Return ``width`` fresh pseudo-random bits as an integer."""
+        if width <= 0:
+            raise ConfigError(f"width must be positive, got {width}")
+        value = 0
+        for _ in range(width):
+            value = (value << 1) | self.next_bit()
+        return value
+
+    def one_in(self, power: int) -> bool:
+        """True with probability 1/2**power (the paper's n-bit-zero test)."""
+        if power <= 0:
+            return True
+        return self.next_bits(power) == 0
+
+
+class SplitMix:
+    """SplitMix64 generator for workload synthesis.
+
+    Workload generators need better-distributed randomness than an LFSR
+    but must stay dependency-free and deterministic; SplitMix64 is the
+    standard tiny answer.  Not used by any simulated hardware.
+    """
+
+    _MASK = (1 << 64) - 1
+
+    def __init__(self, seed: int = 0x9E3779B97F4A7C15) -> None:
+        self._state = seed & self._MASK
+
+    def next_u64(self) -> int:
+        """Next 64-bit value."""
+        self._state = (self._state + 0x9E3779B97F4A7C15) & self._MASK
+        z = self._state
+        z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & self._MASK
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & self._MASK
+        return z ^ (z >> 31)
+
+    def random(self) -> float:
+        """Uniform float in [0, 1)."""
+        return self.next_u64() / float(1 << 64)
+
+    def randint(self, low: int, high: int) -> int:
+        """Uniform integer in the inclusive range [low, high]."""
+        if high < low:
+            raise ConfigError(f"empty range [{low}, {high}]")
+        span = high - low + 1
+        return low + self.next_u64() % span
+
+    def choice(self, sequence):
+        """Uniformly pick one element of a non-empty sequence."""
+        if not sequence:
+            raise ConfigError("cannot choose from an empty sequence")
+        return sequence[self.next_u64() % len(sequence)]
+
+    def shuffle(self, items: list) -> None:
+        """In-place Fisher-Yates shuffle."""
+        for i in range(len(items) - 1, 0, -1):
+            j = self.next_u64() % (i + 1)
+            items[i], items[j] = items[j], items[i]

@@ -1,0 +1,108 @@
+"""Statistics collection shared by every simulated cache scheme.
+
+:class:`CacheStats` is intentionally a plain bag of integer counters with
+derived-ratio helpers — the hot path does ``stats.hits += 1`` directly —
+plus structured latency accounting used by the AMAT/CPI models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class CacheStats:
+    """Counters accumulated by a cache over a simulation run.
+
+    ``accesses`` counts demand lookups; ``hits``/``misses`` partition it.
+    Cooperative schemes (SBC, STEM) additionally split hits into local
+    and cooperative ("second") hits, and count the inter-set traffic the
+    paper's timing model charges for.
+    """
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    local_hits: int = 0
+    cooperative_hits: int = 0
+    misses_single_probe: int = 0  # miss resolved after one tag-store probe
+    misses_double_probe: int = 0  # coupled-taker miss probing both sets
+    evictions: int = 0
+    writebacks: int = 0
+    spills: int = 0           # victims forwarded to a cooperative set
+    spill_rejects: int = 0    # spills refused by receiving control
+    shadow_hits: int = 0      # SCDM shadow-set hits (STEM only)
+    policy_swaps: int = 0     # SC_T-triggered LRU<->BIP swaps (STEM only)
+    couplings: int = 0
+    decouplings: int = 0
+    total_latency_cycles: int = 0
+
+    extra: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def miss_rate(self) -> float:
+        """Misses / accesses, or 0.0 when no accesses were recorded."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits / accesses, or 0.0 when no accesses were recorded."""
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def amat_cycles(self) -> float:
+        """Average latency per access in cycles (0.0 if no accesses)."""
+        if not self.accesses:
+            return 0.0
+        return self.total_latency_cycles / self.accesses
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        """Increment a named ad-hoc counter in :attr:`extra`."""
+        self.extra[name] = self.extra.get(name, 0) + amount
+
+    def merge(self, other: "CacheStats") -> None:
+        """Accumulate ``other`` into this object (for sharded runs)."""
+        self.accesses += other.accesses
+        self.hits += other.hits
+        self.misses += other.misses
+        self.local_hits += other.local_hits
+        self.cooperative_hits += other.cooperative_hits
+        self.misses_single_probe += other.misses_single_probe
+        self.misses_double_probe += other.misses_double_probe
+        self.evictions += other.evictions
+        self.writebacks += other.writebacks
+        self.spills += other.spills
+        self.spill_rejects += other.spill_rejects
+        self.shadow_hits += other.shadow_hits
+        self.policy_swaps += other.policy_swaps
+        self.couplings += other.couplings
+        self.decouplings += other.decouplings
+        self.total_latency_cycles += other.total_latency_cycles
+        for name, amount in other.extra.items():
+            self.bump(name, amount)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary view, convenient for result tables."""
+        table: Dict[str, float] = {
+            "accesses": self.accesses,
+            "hits": self.hits,
+            "misses": self.misses,
+            "local_hits": self.local_hits,
+            "cooperative_hits": self.cooperative_hits,
+            "misses_single_probe": self.misses_single_probe,
+            "misses_double_probe": self.misses_double_probe,
+            "evictions": self.evictions,
+            "writebacks": self.writebacks,
+            "spills": self.spills,
+            "spill_rejects": self.spill_rejects,
+            "shadow_hits": self.shadow_hits,
+            "policy_swaps": self.policy_swaps,
+            "couplings": self.couplings,
+            "decouplings": self.decouplings,
+            "total_latency_cycles": self.total_latency_cycles,
+            "miss_rate": self.miss_rate,
+            "hit_rate": self.hit_rate,
+        }
+        table.update(self.extra)
+        return table

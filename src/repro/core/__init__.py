@@ -1,0 +1,14 @@
+"""STEM — the paper's contribution: spatiotemporal LLC management."""
+
+from repro.core.config import PAPER_STEM_CONFIG, StemConfig
+from repro.core.scdm import SetMonitor
+from repro.core.shadow import ShadowSet
+from repro.core.stem_cache import StemCache
+
+__all__ = [
+    "PAPER_STEM_CONFIG",
+    "SetMonitor",
+    "ShadowSet",
+    "StemCache",
+    "StemConfig",
+]

@@ -1,0 +1,89 @@
+"""SCDM — the Set-level Capacity Demand Monitor (Section 4.2, Figure 5).
+
+One :class:`SetMonitor` is attached to each LLC set.  It bundles the
+set's shadow set with the two k-bit saturating counters:
+
+* ``SC_S`` (spatial): +1 on every shadow hit, −1 once per 2**n LLC-set
+  hits (implemented probabilistically with the controller's LFSR).  A
+  *saturated* ``SC_S`` marks the set a **taker** — doubling its capacity
+  would recover at least a 1/2**n hit-rate increase.  A zero MSB marks
+  it a **giver** — it hits so frequently in its local capacity that it
+  can donate space.  ``SC_S`` is reset only at system initialisation.
+* ``SC_T`` (temporal): +1 on every shadow hit, −1 on every LLC-set hit.
+  Saturation means the shadow set's (opposite) replacement policy is
+  outperforming the set's current policy: the controller swaps the
+  policies and resets the counter.
+"""
+
+from __future__ import annotations
+
+from repro.common.counters import SaturatingCounter
+from repro.common.rng import Lfsr
+from repro.core.shadow import ShadowSet
+
+
+class SetMonitor:
+    """Shadow set + SC_S + SC_T for one LLC set."""
+
+    __slots__ = ("shadow", "sc_s", "sc_t", "spatial_ratio_bits")
+
+    def __init__(
+        self,
+        associativity: int,
+        counter_bits: int,
+        spatial_ratio_bits: int,
+    ) -> None:
+        self.shadow = ShadowSet(associativity)
+        self.sc_s = SaturatingCounter(counter_bits)
+        self.sc_t = SaturatingCounter(counter_bits)
+        self.spatial_ratio_bits = spatial_ratio_bits
+
+    # ------------------------------------------------------------------
+    # Event hooks driven by the STEM controller
+    # ------------------------------------------------------------------
+
+    def record_local_hit(self, rng: Lfsr) -> None:
+        """A hit in the LLC set: SC_T −1; SC_S −1 once per 2**n hits."""
+        self.sc_t.decrement()
+        if rng.one_in(self.spatial_ratio_bits):
+            self.sc_s.decrement()
+
+    def probe_shadow(self, signature: int) -> bool:
+        """Shadow lookup on an LLC-set miss; pulses both counters on hit."""
+        if not self.shadow.lookup_and_invalidate(signature):
+            return False
+        self.sc_s.increment()
+        self.sc_t.increment()
+        return True
+
+    def record_victim(self, signature: int, at_mru: bool) -> None:
+        """An off-chip eviction: file the victim's signature."""
+        self.shadow.insert(signature, at_mru)
+
+    # ------------------------------------------------------------------
+    # Classification read by the controller
+    # ------------------------------------------------------------------
+
+    @property
+    def is_taker(self) -> bool:
+        """Saturated SC_S: extending this set's capacity pays off."""
+        return self.sc_s.saturated
+
+    @property
+    def is_giver(self) -> bool:
+        """Zero MSB: the set hits locally and can donate capacity."""
+        return self.sc_s.msb == 0
+
+    @property
+    def wants_policy_swap(self) -> bool:
+        """Saturated SC_T: the shadow's policy is winning."""
+        return self.sc_t.saturated
+
+    def acknowledge_policy_swap(self) -> None:
+        """The controller swapped the policies: restart the duel."""
+        self.sc_t.reset()
+
+    @property
+    def saturation(self) -> int:
+        """SC_S value, the heap's ordering key for candidate givers."""
+        return self.sc_s.value

@@ -1,0 +1,75 @@
+"""Shadow sets: the virtual extra capacity behind STEM's monitor.
+
+A shadow set (Section 4.3) has the same associativity as its LLC set
+and stores ``m``-bit hash signatures of the tags of blocks the LLC set
+evicted.  Three operations define it:
+
+1. when the LLC set evicts a local block off-chip, the victim tag's
+   hash is inserted, ranked by the shadow set's *own* replacement
+   policy (the opposite of the LLC set's, so the eviction stream is
+   filtered through the "other" temporal lens);
+2. the shadow set replaces among its own entries independently;
+3. when an access misses in the LLC set, the shadow set is probed; a
+   valid matching signature is a *shadow hit*: the entry is invalidated
+   (signatures stay strictly exclusive with resident blocks) and the
+   saturating counters are pulsed.
+
+Because signatures are hashes, two different tags can alias; the width
+``m`` (10 bits in Table 3) keeps that probability near 1/1024, which
+the monitor tolerates by design.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.common.errors import ConfigError
+
+
+class ShadowSet:
+    """An associativity-bounded, recency-ranked set of tag signatures."""
+
+    __slots__ = ("capacity", "_order", "_members")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ConfigError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._order: List[int] = []  # index 0 = LRU ... end = MRU
+        self._members: Set[int] = set()
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __contains__(self, signature: int) -> bool:
+        return signature in self._members
+
+    def lookup_and_invalidate(self, signature: int) -> bool:
+        """Probe for ``signature``; on a hit, remove it (exclusivity)."""
+        if signature not in self._members:
+            return False
+        self._members.discard(signature)
+        self._order.remove(signature)
+        return True
+
+    def insert(self, signature: int, at_mru: bool) -> None:
+        """Insert a victim signature at the MRU or LRU rank position.
+
+        A duplicate signature (hash alias of an earlier victim, or the
+        same block bouncing) is re-ranked rather than duplicated.  A
+        full shadow set evicts its own LRU entry first.
+        """
+        if signature in self._members:
+            self._order.remove(signature)
+        elif len(self._order) >= self.capacity:
+            dropped = self._order.pop(0)
+            self._members.discard(dropped)
+        self._members.add(signature)
+        if at_mru:
+            self._order.append(signature)
+        else:
+            self._order.insert(0, signature)
+
+    def entries(self) -> "tuple[int, ...]":
+        """LRU-to-MRU signature ordering (for tests)."""
+        return tuple(self._order)

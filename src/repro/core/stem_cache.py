@@ -1,0 +1,382 @@
+"""The STEM LLC — spatiotemporal set-level capacity management.
+
+This is the paper's contribution (Section 4), assembled from the
+substrate pieces:
+
+* every set carries a :class:`~repro.core.scdm.SetMonitor` (shadow set
+  + SC_S/SC_T saturating counters);
+* every set duels its own replacement policy between LRU and BIP,
+  swapping whenever SC_T saturates (set-level temporal management);
+* takers (saturated SC_S) couple with the least-saturated giver from
+  the hardware heap, spill victims into it under *receiving control*
+  (the giver must still look like a giver), and decouple once the giver
+  has evicted every cooperatively cached block (spatial management);
+* a spilled block is inserted into the giver according to the giver's
+  own current temporal policy (Section 4.6's last sentence).
+
+The class exposes the same ``access() -> AccessKind`` protocol as every
+other scheme, so the simulator, hierarchy, and experiment harness treat
+STEM, SBC, V-Way and the plain policy caches interchangeably.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cache.access import AccessKind
+from repro.cache.block import BlockView, ShadowView
+from repro.cache.geometry import CacheGeometry
+from repro.common.errors import ConfigError
+from repro.common.hashing import H3Hash
+from repro.common.rng import Lfsr
+from repro.common.stats import CacheStats
+from repro.core.config import StemConfig
+from repro.core.scdm import SetMonitor
+from repro.spatial.association import AssociationTable
+from repro.spatial.heap import GiverHeap
+
+_MODE_LRU = 0
+_MODE_BIP = 1
+
+_UNCOUPLED = 0
+_TAKER = 1
+_GIVER = 2
+
+
+class StemCache:
+    """SpatioTEmporally Managed last level cache."""
+
+    name = "STEM"
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        config: Optional[StemConfig] = None,
+        rng: Optional[Lfsr] = None,
+    ) -> None:
+        if geometry.num_sets < 2:
+            raise ConfigError("STEM needs at least two sets to couple")
+        self.geometry = geometry
+        self.mapper = geometry.mapper
+        self.config = config if config is not None else StemConfig()
+        self.rng = rng if rng is not None else Lfsr()
+        self.stats = CacheStats()
+        self._hash = H3Hash(
+            in_bits=geometry.tag_bits,
+            out_bits=self.config.shadow_tag_bits,
+            seed=self.config.hash_seed,
+        )
+        num_sets = geometry.num_sets
+        assoc = geometry.associativity
+        # Block state: key = (tag << 1) | cc_bit  ->  way.
+        self._lookup: List[dict] = [{} for _ in range(num_sets)]
+        self._way_key: List[List[Optional[int]]] = [
+            [None] * assoc for _ in range(num_sets)
+        ]
+        self._dirty: List[List[bool]] = [
+            [False] * assoc for _ in range(num_sets)
+        ]
+        self._free: List[List[int]] = [
+            list(range(assoc - 1, -1, -1)) for _ in range(num_sets)
+        ]
+        self._order: List[List[int]] = [[] for _ in range(num_sets)]
+        # Temporal state: per-set policy mode, starting from LRU.
+        self._mode: List[int] = [_MODE_LRU] * num_sets
+        # The SCDM.
+        self.monitors: List[SetMonitor] = [
+            SetMonitor(
+                associativity=assoc,
+                counter_bits=self.config.counter_bits,
+                spatial_ratio_bits=self.config.spatial_ratio_bits,
+            )
+            for _ in range(num_sets)
+        ]
+        # Spatial state: pairing and the candidate-giver heap.
+        self.association = AssociationTable(num_sets)
+        self.heap = GiverHeap(self.config.heap_capacity)
+        self._coupled_role: List[int] = [_UNCOUPLED] * num_sets
+        self._cc_count: List[int] = [0] * num_sets
+
+    # ------------------------------------------------------------------
+    # Access path
+    # ------------------------------------------------------------------
+
+    def access(self, address: int, is_write: bool = False) -> AccessKind:
+        """Service one LLC access (Figure 4's controller flow)."""
+        set_index, tag = self.mapper.split(address)
+        stats = self.stats
+        stats.accesses += 1
+        way = self._lookup[set_index].get(tag << 1)
+        if way is not None:
+            stats.hits += 1
+            stats.local_hits += 1
+            monitor = self.monitors[set_index]
+            monitor.record_local_hit(self.rng)
+            if is_write:
+                self._dirty[set_index][way] = True
+            order = self._order[set_index]
+            order.remove(way)
+            order.append(way)
+            self._maybe_post_giver(set_index, monitor)
+            return AccessKind.LOCAL_HIT
+        probed_coop = False
+        if self._coupled_role[set_index] == _TAKER:
+            giver = self.association.partner_of(set_index)
+            probed_coop = True
+            coop_way = self._lookup[giver].get((tag << 1) | 1)
+            if coop_way is not None:
+                stats.hits += 1
+                stats.cooperative_hits += 1
+                if is_write:
+                    self._dirty[giver][coop_way] = True
+                order = self._order[giver]
+                order.remove(coop_way)
+                order.append(coop_way)
+                return AccessKind.COOP_HIT
+        stats.misses += 1
+        if probed_coop:
+            stats.misses_double_probe += 1
+        else:
+            stats.misses_single_probe += 1
+        monitor = self.monitors[set_index]
+        if monitor.probe_shadow(self._hash(tag)):
+            stats.shadow_hits += 1
+        self._fill(set_index, tag, is_write)
+        if monitor.wants_policy_swap:
+            if self.config.enable_temporal:
+                self._mode[set_index] ^= 1
+                stats.policy_swaps += 1
+            monitor.acknowledge_policy_swap()
+        self._maybe_post_giver(set_index, monitor)
+        return AccessKind.MISS_COOP if probed_coop else AccessKind.MISS
+
+    # ------------------------------------------------------------------
+    # Fill / spill machinery
+    # ------------------------------------------------------------------
+
+    def _fill(self, set_index: int, tag: int, is_write: bool) -> None:
+        free = self._free[set_index]
+        if free:
+            way = free.pop()
+        else:
+            way = self._order[set_index][0]
+            self._evict_for_fill(set_index, way)
+        self._install(set_index, way, tag << 1, is_write)
+
+    def _evict_for_fill(self, set_index: int, way: int) -> None:
+        """Evict the replacement victim of ``set_index`` before a fill."""
+        key = self._way_key[set_index][way]
+        dirty = self._dirty[set_index][way]
+        self._remove(set_index, way)
+        if key & 1:
+            # This set is a giver evicting a cooperatively cached block
+            # owned by its coupled taker.
+            self._drop_cooperative(set_index, key >> 1, dirty)
+            return
+        victim_tag = key >> 1
+        monitor = self.monitors[set_index]
+        if (
+            self.config.enable_spatial
+            and self._coupled_role[set_index] == _UNCOUPLED
+            and monitor.is_taker
+        ):
+            # "When an uncoupled taker set needs to evict a block, it
+            # first sends a coupling request to the HW heap" (§4.5).
+            self._try_couple(set_index)
+        if self._coupled_role[set_index] == _TAKER and not monitor.is_giver:
+            giver = self.association.partner_of(set_index)
+            if self._receiving_allowed(giver):
+                self._spill(set_index, giver, victim_tag, dirty)
+                return
+            self.stats.spill_rejects += 1
+        self._evict_off_chip(set_index, victim_tag, dirty)
+
+    def _receiving_allowed(self, giver: int) -> bool:
+        """Receiving control (§4.6): the giver must still be unsaturated."""
+        if not self.config.receiving_control:
+            return True
+        return self.monitors[giver].is_giver
+
+    def _drop_cooperative(self, giver: int, victim_tag: int, dirty: bool) -> None:
+        """A giver evicted one of its taker's blocks off-chip."""
+        taker = self.association.partner_of(giver)
+        if dirty:
+            self.stats.writebacks += 1
+        # The block leaves the chip: file it in its *owner's* shadow set
+        # so the taker's capacity demand keeps being measured.
+        self.monitors[taker].record_victim(
+            self._hash(victim_tag), self._shadow_insert_at_mru(taker)
+        )
+        self._cc_count[giver] -= 1
+        if self._cc_count[giver] == 0:
+            self._decouple(taker, giver)
+
+    def _spill(self, taker: int, giver: int, tag: int, dirty: bool) -> None:
+        """Displace a taker victim into the giver (inter-set caching)."""
+        self.stats.spills += 1
+        free = self._free[giver]
+        if free:
+            way = free.pop()
+        else:
+            way = self._order[giver][0]
+            victim_key = self._way_key[giver][way]
+            victim_dirty = self._dirty[giver][way]
+            self._remove(giver, way)
+            if victim_key & 1:
+                # Replacing one of the taker's blocks with another; no
+                # decouple check, the insert below restores the count.
+                if victim_dirty:
+                    self.stats.writebacks += 1
+                self.monitors[taker].record_victim(
+                    self._hash(victim_key >> 1),
+                    self._shadow_insert_at_mru(taker),
+                )
+                self._cc_count[giver] -= 1
+            else:
+                self._evict_off_chip(giver, victim_key >> 1, victim_dirty)
+        self._install(giver, way, (tag << 1) | 1, dirty)
+        self._cc_count[giver] += 1
+
+    def _install(self, set_index: int, way: int, key: int, dirty: bool) -> None:
+        """Place a block and rank it per the set's current policy mode."""
+        self._lookup[set_index][key] = way
+        self._way_key[set_index][way] = key
+        self._dirty[set_index][way] = dirty
+        order = self._order[set_index]
+        if self._insert_at_mru(set_index):
+            order.append(way)
+        else:
+            order.insert(0, way)
+
+    def _insert_at_mru(self, set_index: int) -> bool:
+        if self._mode[set_index] == _MODE_LRU:
+            return True
+        return self.rng.one_in(self.config.bip_throttle_bits)
+
+    def _shadow_insert_at_mru(self, set_index: int) -> bool:
+        """Insertion rank in the shadow set (opposite policy, §4.3)."""
+        shadow_mode = self._mode[set_index]
+        if self.config.invert_shadow_policy:
+            shadow_mode ^= 1
+        if shadow_mode == _MODE_LRU:
+            return True
+        return self.rng.one_in(self.config.bip_throttle_bits)
+
+    def _remove(self, set_index: int, way: int) -> None:
+        key = self._way_key[set_index][way]
+        del self._lookup[set_index][key]
+        self._way_key[set_index][way] = None
+        self._dirty[set_index][way] = False
+        self._order[set_index].remove(way)
+        self.stats.evictions += 1
+
+    def _evict_off_chip(self, set_index: int, victim_tag: int, dirty: bool) -> None:
+        """A local block leaves the chip: write back + shadow capture."""
+        if dirty:
+            self.stats.writebacks += 1
+        self.monitors[set_index].record_victim(
+            self._hash(victim_tag), self._shadow_insert_at_mru(set_index)
+        )
+
+    # ------------------------------------------------------------------
+    # Coupling management
+    # ------------------------------------------------------------------
+
+    def _maybe_post_giver(self, set_index: int, monitor: SetMonitor) -> None:
+        if not self.config.enable_spatial:
+            return
+        if self._coupled_role[set_index] == _UNCOUPLED and monitor.is_giver:
+            self.heap.offer(set_index, monitor.saturation)
+
+    def _try_couple(self, taker: int) -> Optional[int]:
+        def _valid(candidate: int) -> bool:
+            return (
+                candidate != taker
+                and self._coupled_role[candidate] == _UNCOUPLED
+                and self.monitors[candidate].is_giver
+            )
+
+        giver = self.heap.pop_best(_valid)
+        if giver is None:
+            return None
+        self.association.couple(taker, giver)
+        self._coupled_role[taker] = _TAKER
+        self._coupled_role[giver] = _GIVER
+        self.heap.remove(taker)
+        self.stats.couplings += 1
+        return giver
+
+    def _decouple(self, taker: int, giver: int) -> None:
+        self.association.decouple(taker, giver)
+        self._coupled_role[taker] = _UNCOUPLED
+        self._coupled_role[giver] = _UNCOUPLED
+        self.stats.decouplings += 1
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    def policy_mode_of(self, set_index: int) -> str:
+        """'LRU' or 'BIP' — the set's current temporal policy."""
+        return "LRU" if self._mode[set_index] == _MODE_LRU else "BIP"
+
+    def role_of(self, set_index: int) -> str:
+        """Coupling role: 'uncoupled', 'taker' or 'giver'."""
+        return ("uncoupled", "taker", "giver")[self._coupled_role[set_index]]
+
+    def resident_blocks(self, set_index: int) -> List[BlockView]:
+        """Views of the valid blocks in ``set_index``."""
+        views = []
+        for key, way in sorted(self._lookup[set_index].items()):
+            views.append(
+                BlockView(
+                    set_index=set_index,
+                    way=way,
+                    tag=key >> 1,
+                    dirty=self._dirty[set_index][way],
+                    cooperative=bool(key & 1),
+                )
+            )
+        return views
+
+    def shadow_entries(self, set_index: int) -> List[ShadowView]:
+        """Views of the valid shadow signatures of ``set_index``."""
+        shadow = self.monitors[set_index].shadow
+        return [
+            ShadowView(set_index=set_index, way=way, hashed_tag=signature)
+            for way, signature in enumerate(shadow.entries())
+        ]
+
+    def reset_stats(self) -> None:
+        """Zero statistics (e.g. after warm-up)."""
+        self.stats = CacheStats()
+
+    def check_invariants(self) -> None:
+        """Assert structural consistency; used by property tests."""
+        self.association.check_invariants()
+        for set_index in range(self.geometry.num_sets):
+            table = self._lookup[set_index]
+            cc_blocks = sum(1 for key in table if key & 1)
+            role = self._coupled_role[set_index]
+            if role == _GIVER:
+                assert cc_blocks == self._cc_count[set_index], (
+                    f"set {set_index}: cc bookkeeping mismatch"
+                )
+                assert self.association.is_coupled(set_index)
+                assert self._cc_count[set_index] > 0, (
+                    f"set {set_index}: coupled giver with no cc blocks"
+                )
+            else:
+                assert cc_blocks == 0, (
+                    f"set {set_index}: cooperative blocks in a non-giver"
+                )
+            if role == _TAKER:
+                partner = self.association.partner_of(set_index)
+                assert partner is not None
+                assert self._coupled_role[partner] == _GIVER
+            occupancy = len(table) + len(self._free[set_index])
+            assert occupancy == self.geometry.associativity
+            assert sorted(self._order[set_index]) == sorted(table.values())
+            assert len(self.monitors[set_index].shadow) <= (
+                self.geometry.associativity
+            )

@@ -1,0 +1,103 @@
+"""Ablations of STEM's design choices (DESIGN.md §6).
+
+The paper argues for three design decisions we can switch off or vary
+independently:
+
+* **Receiving control** (Section 4.6): the giver refuses spills once it
+  stops looking like a giver.  Disabling it yields SBC-style
+  unconditional receiving — the pollution pathology the paper warns
+  about should reappear on giver-fragile workloads.
+* **Shadow policy inversion** (Section 4.3): the shadow set runs the
+  opposite policy of its LLC set, which is what lets ``SC_T`` detect a
+  better temporal policy.  Disabling it blinds the temporal duel.
+* **Spatial decrement ratio** ``1/2**n`` (Section 4.4): how much hit
+  frequency discounts capacity demand; Table 3 uses n = 3.
+* **Heap capacity**: how many candidate givers the controller tracks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import StemConfig
+from repro.core.stem_cache import StemCache
+from repro.sim.config import ExperimentScale
+from repro.sim.simulator import RunResult, run_trace
+from repro.workloads.spec_like import make_benchmark_trace
+
+#: Benchmarks used for the ablations: one spatial-sensitive, one
+#: temporal-sensitive, one giver-fragile.
+DEFAULT_BENCHMARKS = ("omnetpp", "mcf", "astar")
+
+
+@dataclass
+class AblationResult:
+    """MPKI per (benchmark, variant)."""
+
+    variants: List[str]
+    mpki: Dict[str, Dict[str, float]]  # benchmark -> variant -> mpki
+
+
+def _run_variant(
+    trace, scale: ExperimentScale, config: StemConfig
+) -> RunResult:
+    cache = StemCache(scale.geometry(), config=config)
+    return run_trace(
+        cache, trace, warmup_fraction=scale.warmup_fraction,
+        machine=scale.machine,
+    )
+
+
+def run(
+    benchmarks: Sequence[str] = DEFAULT_BENCHMARKS,
+    scale: Optional[ExperimentScale] = None,
+    variants: Optional[Dict[str, StemConfig]] = None,
+) -> AblationResult:
+    """Run STEM variants across the selected benchmarks."""
+    scale = scale if scale is not None else ExperimentScale.default()
+    if variants is None:
+        base = StemConfig()
+        variants = {
+            "baseline": base,
+            "spatial-only": replace(base, enable_temporal=False),
+            "temporal-only": replace(base, enable_spatial=False),
+            "no-receiving-control": replace(base, receiving_control=False),
+            "mirrored-shadow": replace(base, invert_shadow_policy=False),
+            "n=1": replace(base, spatial_ratio_bits=1),
+            "n=5": replace(base, spatial_ratio_bits=5),
+            "heap=4": replace(base, heap_capacity=4),
+            "heap=64": replace(base, heap_capacity=64),
+        }
+    mpki: Dict[str, Dict[str, float]] = {}
+    for benchmark in benchmarks:
+        trace = make_benchmark_trace(
+            benchmark, num_sets=scale.num_sets, length=scale.trace_length
+        )
+        mpki[benchmark] = {
+            name: _run_variant(trace, scale, config).mpki
+            for name, config in variants.items()
+        }
+    return AblationResult(variants=list(variants), mpki=mpki)
+
+
+def main(scale: Optional[ExperimentScale] = None) -> str:
+    """Render the ablation table (MPKI, lower is better)."""
+    result = run(scale=scale)
+    variants = result.variants
+    lines = [
+        "STEM ablations: MPKI by variant (lower is better)",
+        f"{'benchmark':>12s} " + "".join(f"{v:>22s}" for v in variants),
+    ]
+    for benchmark, row in result.mpki.items():
+        lines.append(
+            f"{benchmark:>12s} "
+            + "".join(f"{row[v]:>22.3f}" for v in variants)
+        )
+    text = "\n".join(lines)
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+"""Figure 1 — distribution of set-level capacity demands over time.
+
+The paper samples omnetpp and ammp on a 2048-set LLC for 1000 intervals
+of 50 000 accesses and plots, per interval, the fraction of sets whose
+capacity demand falls in each 2-way band of [0, 32].  The headline
+observations this experiment must reproduce:
+
+* both workloads' demands are strongly non-uniform across sets;
+* for omnetpp, roughly half the sets need no more than 16 lines
+  (and a visible band sits at 15-16 ways);
+* for ammp, roughly half the sets need no more than 4 lines, with a
+  distinct zero-demand ("streaming") band.
+
+We run a scaled configuration by default (DESIGN.md §4): fewer sets and
+shorter intervals, which leaves the per-set demand statistics intact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.analysis.capacity_demand import (
+    CapacityDemandProfile,
+    profile_capacity_demand,
+)
+from repro.sim.config import ExperimentScale
+from repro.workloads.spec_like import make_benchmark_trace
+
+#: The two workloads the paper characterises.
+FIGURE1_BENCHMARKS = ("omnetpp", "ammp")
+
+
+@dataclass
+class Figure1Result:
+    """Profile plus the paper's two headline fractions."""
+
+    benchmark: str
+    profile: CapacityDemandProfile
+    fraction_le_16: float
+    fraction_le_4: float
+    mean_bands: Dict[Tuple[int, int], float]
+
+
+def run(
+    benchmark: str = "omnetpp",
+    scale: Optional[ExperimentScale] = None,
+    max_ways: int = 32,
+    num_intervals: int = 50,
+    interval_length: int = 10_000,
+) -> Figure1Result:
+    """Profile one benchmark's set-level capacity demand."""
+    scale = scale if scale is not None else ExperimentScale.default()
+    trace = make_benchmark_trace(
+        benchmark,
+        num_sets=scale.num_sets,
+        length=num_intervals * interval_length,
+    )
+    profile = profile_capacity_demand(
+        trace,
+        num_sets=scale.num_sets,
+        max_ways=max_ways,
+        interval_length=interval_length,
+    )
+    return Figure1Result(
+        benchmark=benchmark,
+        profile=profile,
+        fraction_le_16=profile.fraction_with_demand_at_most(16),
+        fraction_le_4=profile.fraction_with_demand_at_most(4),
+        mean_bands=profile.mean_distribution(),
+    )
+
+
+def main(scale: Optional[ExperimentScale] = None) -> str:
+    """Render the Figure 1 characterisation for both benchmarks."""
+    lines = []
+    for benchmark in FIGURE1_BENCHMARKS:
+        result = run(benchmark, scale=scale)
+        lines.append(
+            f"Figure 1 ({benchmark}): mean share of sets per demand band"
+        )
+        for band, fraction in result.mean_bands.items():
+            low, high = band
+            label = "0 (streaming/idle)" if band == (0, 0) else f"{low}-{high}"
+            bar = "#" * round(fraction * 60)
+            lines.append(f"  {label:>18s}  {fraction:6.1%}  {bar}")
+        lines.append(
+            f"  sets needing <= 4 ways: {result.fraction_le_4:6.1%}   "
+            f"sets needing <= 16 ways: {result.fraction_le_16:6.1%}"
+        )
+        lines.append("")
+    text = "\n".join(lines)
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

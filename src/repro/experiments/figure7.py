@@ -1,0 +1,51 @@
+"""Figure 7 — normalized MPKI for the 15 benchmarks plus the geomean.
+
+The paper's observations this table must reproduce:
+
+* STEM never materially underperforms LRU and posts the best geomean
+  (a 21.4% MPKI reduction in the paper);
+* DIP/PeLIFO lead the spatial schemes on Class II and can *degrade*
+  ``astar`` (the set-dueling pathology);
+* SBC helps Class I, is neutral-to-harmful elsewhere;
+* no scheme improves ``art`` at this capacity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.experiments.evaluation import run_evaluation
+from repro.sim.config import ExperimentScale, PAPER_SCHEMES
+from repro.sim.results import format_table
+from repro.workloads.spec_like import benchmark_names
+
+
+def run(
+    scale: Optional[ExperimentScale] = None,
+    schemes: Sequence[str] = PAPER_SCHEMES,
+    benchmarks: Optional[Sequence[str]] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Normalized-MPKI table (workload rows, scheme columns, + geomean)."""
+    matrix = run_evaluation(scale=scale, schemes=schemes, benchmarks=benchmarks)
+    return matrix.normalized_table(lambda result: result.mpki)
+
+
+def main(scale: Optional[ExperimentScale] = None) -> str:
+    """Render Figure 7 in the paper's benchmark order."""
+    table = run(scale=scale)
+    ordered = {
+        name: table[name] for name in benchmark_names() if name in table
+    }
+    if "Geomean" in table:
+        ordered["Geomean"] = table["Geomean"]
+    text = format_table(
+        ordered,
+        columns=list(PAPER_SCHEMES),
+        title="Figure 7: MPKI normalized to LRU",
+    )
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

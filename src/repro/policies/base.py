@@ -1,0 +1,122 @@
+"""Replacement-policy interface used by every set-associative cache.
+
+A policy object is *cache-level*: it owns per-set ranking state for all
+sets and is driven by the cache through a small event protocol:
+
+* ``attach(num_sets, associativity, rng)`` — allocate per-set state.
+* ``on_hit(set_index, way)`` — a resident block was referenced.
+* ``on_miss(set_index)`` — a lookup missed (fires before the fill; DIP
+  uses it to train its PSEL dueling counter).
+* ``victim(set_index)`` — choose a way to evict; only called when every
+  way of the set is valid.
+* ``on_fill(set_index, way)`` — a new block was installed in ``way``;
+  the policy records its initial rank (this is where insertion policies
+  such as BIP differ from LRU).
+* ``on_invalidate(set_index, way)`` — a block was removed without
+  replacement (cooperative-caching schemes move blocks between sets).
+
+Keeping the policy outside the cache lets the same
+:class:`~repro.cache.basecache.SetAssociativeCache` host every temporal
+scheme in the paper, and lets STEM drive two rankings (LLC set + shadow
+set) from one implementation.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Optional
+
+from repro.common.errors import SimulationError
+from repro.common.rng import Lfsr
+
+
+class ReplacementPolicy(ABC):
+    """Abstract base for set-level replacement policies."""
+
+    #: Human-readable policy name used in result tables.
+    name = "base"
+
+    def __init__(self) -> None:
+        self.num_sets = 0
+        self.associativity = 0
+        self.rng: Optional[Lfsr] = None
+
+    def attach(self, num_sets: int, associativity: int, rng: Lfsr) -> None:
+        """Size the per-set state for a cache of the given shape."""
+        self.num_sets = num_sets
+        self.associativity = associativity
+        self.rng = rng
+        self._allocate()
+
+    def _allocate(self) -> None:
+        """Hook for subclasses to build per-set state after sizing."""
+
+    @abstractmethod
+    def on_hit(self, set_index: int, way: int) -> None:
+        """Record a hit on ``way`` of ``set_index``."""
+
+    def on_miss(self, set_index: int) -> None:
+        """Record a miss in ``set_index`` (default: no-op)."""
+
+    @abstractmethod
+    def victim(self, set_index: int) -> int:
+        """Pick the way to evict from a full set."""
+
+    @abstractmethod
+    def on_fill(self, set_index: int, way: int) -> None:
+        """Record that a new block was installed in ``way``."""
+
+    def on_invalidate(self, set_index: int, way: int) -> None:
+        """Record that ``way`` was invalidated (default: no-op)."""
+
+
+class RecencyPolicy(ReplacementPolicy):
+    """Shared machinery for recency-stack policies (LRU/LIP/BIP/DIP).
+
+    Each set keeps an ordering of its valid ways: index 0 is the LRU
+    position, the final index is the MRU position.  Subclasses only
+    decide whether a *fill* lands at MRU or LRU — the famous one-bit
+    difference that separates LRU from LIP/BIP (Qureshi et al., 2007).
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._order: List[List[int]] = []
+
+    def _allocate(self) -> None:
+        self._order = [[] for _ in range(self.num_sets)]
+
+    def recency_order(self, set_index: int) -> "tuple[int, ...]":
+        """LRU-to-MRU way ordering (exposed for tests and analyses)."""
+        return tuple(self._order[set_index])
+
+    def _insert_at_mru(self, set_index: int) -> bool:
+        """Decide the insertion position for a fill in ``set_index``."""
+        raise NotImplementedError
+
+    def on_hit(self, set_index: int, way: int) -> None:
+        order = self._order[set_index]
+        order.remove(way)
+        order.append(way)
+
+    def victim(self, set_index: int) -> int:
+        order = self._order[set_index]
+        if not order:
+            raise SimulationError(
+                f"victim() on empty ranking for set {set_index}"
+            )
+        return order[0]
+
+    def on_fill(self, set_index: int, way: int) -> None:
+        order = self._order[set_index]
+        if way in order:
+            order.remove(way)
+        if self._insert_at_mru(set_index):
+            order.append(way)
+        else:
+            order.insert(0, way)
+
+    def on_invalidate(self, set_index: int, way: int) -> None:
+        order = self._order[set_index]
+        if way in order:
+            order.remove(way)

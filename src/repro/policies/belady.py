@@ -1,0 +1,99 @@
+"""Belady's optimal replacement (OPT/MIN) — the offline oracle.
+
+The paper invokes "Belady's optimal algorithm" as the ideal every
+hardware policy approximates (Section 2.2), and the set-level capacity
+demand characterisation of Figure 1 is defined against the conflict
+misses an oracle-capacity set would incur.  This module provides:
+
+* :func:`opt_misses` — the minimum achievable misses for one reference
+  stream and a given capacity, via the classic farthest-next-use rule;
+* :class:`OptSimulator` — a per-set OPT evaluator for whole traces,
+  used by analyses and tests as a lower bound.
+
+OPT here is *demand-fetch* OPT: every cold reference still misses.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Sequence
+
+from repro.common.errors import ConfigError
+
+#: Sentinel "next use" for blocks never referenced again.
+_NEVER = 1 << 62
+
+
+def _next_use_chain(stream: Sequence[int]) -> List[int]:
+    """next_use[i] = index of the next reference to stream[i], or _NEVER."""
+    next_use = [_NEVER] * len(stream)
+    last_seen: Dict[int, int] = {}
+    for index in range(len(stream) - 1, -1, -1):
+        block = stream[index]
+        next_use[index] = last_seen.get(block, _NEVER)
+        last_seen[block] = index
+    return next_use
+
+
+def opt_misses(stream: Sequence[int], capacity: int) -> int:
+    """Minimum misses for ``stream`` under a ``capacity``-block cache.
+
+    Implements Belady's MIN with a lazy max-heap of (next-use, block)
+    pairs; stale heap entries are skipped at pop time, keeping the whole
+    computation O(N log N).
+    """
+    if capacity <= 0:
+        raise ConfigError(f"capacity must be positive, got {capacity}")
+    next_use = _next_use_chain(stream)
+    resident: Dict[int, int] = {}  # block -> next use index
+    heap: List["tuple[int, int]"] = []  # (-next_use, block)
+    misses = 0
+    for index, block in enumerate(stream):
+        upcoming = next_use[index]
+        if block in resident:
+            resident[block] = upcoming
+            heapq.heappush(heap, (-upcoming, block))
+            continue
+        misses += 1
+        if len(resident) >= capacity:
+            while True:
+                neg_use, candidate = heapq.heappop(heap)
+                if resident.get(candidate) == -neg_use:
+                    del resident[candidate]
+                    break
+        resident[block] = upcoming
+        heapq.heappush(heap, (-upcoming, block))
+    return misses
+
+
+def opt_miss_curve(stream: Sequence[int], capacities: Iterable[int]) -> Dict[int, int]:
+    """OPT misses for several capacities over the same stream."""
+    return {capacity: opt_misses(stream, capacity) for capacity in capacities}
+
+
+class OptSimulator:
+    """Per-set OPT evaluation of a full block-address trace.
+
+    Splits the trace into per-set reference streams with the supplied
+    mapper and runs :func:`opt_misses` on each, giving the trace-wide
+    optimal miss count for a conventional (non-cooperative) cache.
+    """
+
+    def __init__(self, mapper, associativity: int) -> None:
+        if associativity <= 0:
+            raise ConfigError(
+                f"associativity must be positive, got {associativity}"
+            )
+        self.mapper = mapper
+        self.associativity = associativity
+
+    def misses(self, addresses: Sequence[int]) -> int:
+        """Total OPT misses across all sets for ``addresses``."""
+        streams: Dict[int, List[int]] = {}
+        for address in addresses:
+            set_index, tag = self.mapper.split(address)
+            streams.setdefault(set_index, []).append(tag)
+        return sum(
+            opt_misses(stream, self.associativity)
+            for stream in streams.values()
+        )

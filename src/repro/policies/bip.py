@@ -1,0 +1,36 @@
+"""BIP — Bimodal Insertion Policy (Qureshi et al., ISCA 2007).
+
+BIP behaves like LIP but inserts at MRU with a small probability
+``1/2**throttle_bits`` (1/32 in the original paper and here), which lets
+a slowly-changing working set eventually rotate through the protected
+positions while still resisting thrashing.
+
+The STEM paper calls this policy "Binomial Insertion Policy" in
+Section 4.1; it is the same BIP of the DIP proposal, and it is the
+second half of STEM's per-set LRU/BIP duel.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigError
+from repro.policies.base import RecencyPolicy
+
+#: 1/32 MRU-insertion probability, the DIP paper's epsilon.
+DEFAULT_THROTTLE_BITS = 5
+
+
+class BipPolicy(RecencyPolicy):
+    """Bimodal insertion: MRU with probability 1/2**throttle_bits."""
+
+    name = "BIP"
+
+    def __init__(self, throttle_bits: int = DEFAULT_THROTTLE_BITS) -> None:
+        super().__init__()
+        if throttle_bits < 0:
+            raise ConfigError(
+                f"throttle_bits must be >= 0, got {throttle_bits}"
+            )
+        self.throttle_bits = throttle_bits
+
+    def _insert_at_mru(self, set_index: int) -> bool:
+        return self.rng.one_in(self.throttle_bits)

@@ -1,0 +1,43 @@
+"""LRU, LIP and FIFO — the plain recency-family baselines."""
+
+from __future__ import annotations
+
+from repro.policies.base import RecencyPolicy
+
+
+class LruPolicy(RecencyPolicy):
+    """Least Recently Used: insert at MRU, evict from LRU.
+
+    The paper's baseline; every figure normalises against it.
+    """
+
+    name = "LRU"
+
+    def _insert_at_mru(self, set_index: int) -> bool:
+        return True
+
+
+class LipPolicy(RecencyPolicy):
+    """LRU Insertion Policy: insert at LRU, promote to MRU on hit.
+
+    The thrash-proof endpoint of the DIP family — a block earns MRU
+    status only by being re-referenced.
+    """
+
+    name = "LIP"
+
+    def _insert_at_mru(self, set_index: int) -> bool:
+        return False
+
+
+class FifoPolicy(RecencyPolicy):
+    """First-In First-Out: insertion order only, hits do not promote."""
+
+    name = "FIFO"
+
+    def _insert_at_mru(self, set_index: int) -> bool:
+        return True
+
+    def on_hit(self, set_index: int, way: int) -> None:
+        # FIFO ignores hits: eviction order is purely fill order.
+        return None

@@ -1,0 +1,56 @@
+"""Name-based factory for replacement policies.
+
+Experiments and the CLI-style example scripts refer to policies by the
+names the paper uses ("LRU", "DIP", "PeLIFO", ...); this registry turns
+those names into fresh policy objects.  Fresh objects matter: policies
+carry per-set state, so they must never be shared across caches.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.common.errors import ConfigError
+from repro.policies.base import ReplacementPolicy
+from repro.policies.bip import BipPolicy
+from repro.policies.dip import DipPolicy
+from repro.policies.drrip import DrripPolicy
+from repro.policies.lru import FifoPolicy, LipPolicy, LruPolicy
+from repro.policies.pelifo import PeLifoPolicy
+from repro.policies.simple import NruPolicy, RandomPolicy, SrripPolicy
+
+_FACTORIES: Dict[str, Callable[[], ReplacementPolicy]] = {
+    "lru": LruPolicy,
+    "lip": LipPolicy,
+    "bip": BipPolicy,
+    "dip": DipPolicy,
+    "fifo": FifoPolicy,
+    "random": RandomPolicy,
+    "nru": NruPolicy,
+    "srrip": SrripPolicy,
+    "drrip": DrripPolicy,
+    "pelifo": PeLifoPolicy,
+}
+
+
+def available_policies() -> List[str]:
+    """Canonical (lower-case) names of every registered policy."""
+    return sorted(_FACTORIES)
+
+
+def make_policy(name: str) -> ReplacementPolicy:
+    """Instantiate the policy registered under ``name`` (case-insensitive)."""
+    factory = _FACTORIES.get(name.lower())
+    if factory is None:
+        raise ConfigError(
+            f"unknown policy {name!r}; available: {', '.join(available_policies())}"
+        )
+    return factory()
+
+
+def register_policy(name: str, factory: Callable[[], ReplacementPolicy]) -> None:
+    """Register a custom policy factory (mainly for user extensions)."""
+    key = name.lower()
+    if key in _FACTORIES:
+        raise ConfigError(f"policy {name!r} is already registered")
+    _FACTORIES[key] = factory

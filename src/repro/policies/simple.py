@@ -1,0 +1,114 @@
+"""Random, NRU and SRRIP — additional baseline policies.
+
+Random and NRU are classic cheap policies used in the test suite as
+sanity baselines; SRRIP (Jaleel et al., ISCA 2010) is included as an
+"extension" temporal policy beyond the paper's evaluated set, useful in
+the ablation benches.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.common.errors import ConfigError, SimulationError
+from repro.policies.base import ReplacementPolicy
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Uniformly random victim selection."""
+
+    name = "Random"
+
+    def on_hit(self, set_index: int, way: int) -> None:
+        return None
+
+    def victim(self, set_index: int) -> int:
+        bits = max(1, (self.associativity - 1).bit_length())
+        # Rejection-sample so every way is equally likely.
+        while True:
+            candidate = self.rng.next_bits(bits)
+            if candidate < self.associativity:
+                return candidate
+
+    def on_fill(self, set_index: int, way: int) -> None:
+        return None
+
+
+class NruPolicy(ReplacementPolicy):
+    """Not Recently Used: one reference bit per line, clock-style scan."""
+
+    name = "NRU"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._ref_bits: List[List[bool]] = []
+
+    def _allocate(self) -> None:
+        self._ref_bits = [
+            [False] * self.associativity for _ in range(self.num_sets)
+        ]
+
+    def on_hit(self, set_index: int, way: int) -> None:
+        self._ref_bits[set_index][way] = True
+
+    def victim(self, set_index: int) -> int:
+        bits = self._ref_bits[set_index]
+        for way, referenced in enumerate(bits):
+            if not referenced:
+                return way
+        # Everyone was referenced: clear the epoch and take way 0.
+        for way in range(self.associativity):
+            bits[way] = False
+        return 0
+
+    def on_fill(self, set_index: int, way: int) -> None:
+        self._ref_bits[set_index][way] = True
+
+    def on_invalidate(self, set_index: int, way: int) -> None:
+        self._ref_bits[set_index][way] = False
+
+
+class SrripPolicy(ReplacementPolicy):
+    """Static RRIP with hit-priority promotion (Jaleel et al., 2010).
+
+    Blocks are inserted with a "long" re-reference prediction
+    (``max_rrpv - 1``), promoted to "near-immediate" (0) on a hit, and
+    the victim is the first block predicted "distant" (``max_rrpv``),
+    aging every block when none qualifies.
+    """
+
+    name = "SRRIP"
+
+    def __init__(self, rrpv_bits: int = 2) -> None:
+        super().__init__()
+        if rrpv_bits <= 0:
+            raise ConfigError(f"rrpv_bits must be positive, got {rrpv_bits}")
+        self.rrpv_bits = rrpv_bits
+        self.max_rrpv = (1 << rrpv_bits) - 1
+        self._rrpv: List[List[int]] = []
+
+    def _allocate(self) -> None:
+        self._rrpv = [
+            [self.max_rrpv] * self.associativity for _ in range(self.num_sets)
+        ]
+
+    def on_hit(self, set_index: int, way: int) -> None:
+        self._rrpv[set_index][way] = 0
+
+    def victim(self, set_index: int) -> int:
+        values = self._rrpv[set_index]
+        for _ in range(self.max_rrpv + 1):
+            for way, value in enumerate(values):
+                if value == self.max_rrpv:
+                    return way
+            for way in range(self.associativity):
+                values[way] += 1
+        raise SimulationError(
+            f"SRRIP failed to converge on a victim in set {set_index}"
+        )
+
+    def on_fill(self, set_index: int, way: int) -> None:
+        self._rrpv[set_index][way] = self.max_rrpv - 1
+
+    def on_invalidate(self, set_index: int, way: int) -> None:
+        self._rrpv[set_index][way] = self.max_rrpv

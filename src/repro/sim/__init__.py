@@ -1,0 +1,41 @@
+"""Simulation driver: scheme factory, trace runner, sweeps, tables."""
+
+from repro.sim.config import (
+    PAPER_SCHEMES,
+    ExperimentScale,
+    MachineConfig,
+    available_schemes,
+    canonical_scheme_name,
+    make_scheme,
+)
+from repro.sim.replication import (
+    ReplicationSummary,
+    compare_with_confidence,
+    replicate,
+)
+from repro.sim.results import ResultMatrix, format_series, format_table
+from repro.sim.runner import associativity_sweep, run_benchmarks, run_matrix
+from repro.sim.simulator import RunResult, run_trace
+from repro.sim.timeline import Timeline, run_timeline
+
+__all__ = [
+    "ExperimentScale",
+    "MachineConfig",
+    "PAPER_SCHEMES",
+    "ReplicationSummary",
+    "ResultMatrix",
+    "RunResult",
+    "Timeline",
+    "associativity_sweep",
+    "available_schemes",
+    "canonical_scheme_name",
+    "compare_with_confidence",
+    "format_series",
+    "format_table",
+    "make_scheme",
+    "replicate",
+    "run_benchmarks",
+    "run_matrix",
+    "run_timeline",
+    "run_trace",
+]

@@ -1,0 +1,133 @@
+"""Result containers and plain-text table rendering.
+
+Experiments produce a :class:`ResultMatrix` (workload x scheme grid of
+:class:`~repro.sim.simulator.RunResult`), from which the figure modules
+derive raw and LRU-normalised metric tables.  Rendering is plain
+monospaced text: the harness prints the same rows/series the paper's
+figures plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Sequence
+
+from repro.analysis.metrics import geomean, normalize_to_baseline
+from repro.common.errors import ConfigError
+from repro.sim.simulator import RunResult
+
+
+@dataclass
+class ResultMatrix:
+    """Grid of run results keyed by (workload, scheme)."""
+
+    schemes: List[str] = field(default_factory=list)
+    workloads: List[str] = field(default_factory=list)
+    _cells: Dict[str, Dict[str, RunResult]] = field(default_factory=dict)
+
+    def add(self, result: RunResult) -> None:
+        """Insert one run, extending the axes as needed."""
+        workload = result.trace_name
+        scheme = result.scheme
+        if workload not in self._cells:
+            self._cells[workload] = {}
+            self.workloads.append(workload)
+        if scheme not in self.schemes:
+            self.schemes.append(scheme)
+        self._cells[workload][scheme] = result
+
+    def get(self, workload: str, scheme: str) -> RunResult:
+        """Fetch a single cell; raises ConfigError if missing."""
+        try:
+            return self._cells[workload][scheme]
+        except KeyError as exc:
+            raise ConfigError(
+                f"no result for workload={workload!r} scheme={scheme!r}"
+            ) from exc
+
+    def metric_table(
+        self, metric: Callable[[RunResult], float]
+    ) -> Dict[str, Dict[str, float]]:
+        """{workload: {scheme: metric(result)}} over the whole grid."""
+        return {
+            workload: {
+                scheme: metric(result) for scheme, result in row.items()
+            }
+            for workload, row in self._cells.items()
+        }
+
+    def normalized_table(
+        self,
+        metric: Callable[[RunResult], float],
+        baseline: str = "LRU",
+        include_geomean: bool = True,
+    ) -> Dict[str, Dict[str, float]]:
+        """Per-workload normalisation to ``baseline`` (Figures 7-9)."""
+        raw = self.metric_table(metric)
+        normalized = {
+            workload: normalize_to_baseline(values, baseline=baseline)
+            for workload, values in raw.items()
+        }
+        if include_geomean and normalized:
+            summary: Dict[str, float] = {}
+            for scheme in self.schemes:
+                summary[scheme] = geomean(
+                    normalized[workload][scheme]
+                    for workload in self.workloads
+                    if scheme in normalized[workload]
+                )
+            normalized["Geomean"] = summary
+        return normalized
+
+
+def format_table(
+    rows: Mapping[str, Mapping[str, float]],
+    columns: Sequence[str],
+    title: str = "",
+    precision: int = 3,
+    row_header: str = "workload",
+) -> str:
+    """Render a nested mapping as an aligned monospaced table."""
+    width = max(
+        [len(row_header)] + [len(str(name)) for name in rows]
+    ) + 2
+    col_width = max([8] + [len(col) + 2 for col in columns])
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("-" * len(title))
+    header = row_header.ljust(width) + "".join(
+        col.rjust(col_width) for col in columns
+    )
+    lines.append(header)
+    for name, values in rows.items():
+        cells = []
+        for col in columns:
+            value = values.get(col)
+            if value is None:
+                cells.append("-".rjust(col_width))
+            else:
+                cells.append(f"{value:.{precision}f}".rjust(col_width))
+        lines.append(str(name).ljust(width) + "".join(cells))
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Mapping[str, Sequence[float]],
+    x_values: Sequence[float],
+    x_label: str = "x",
+    title: str = "",
+    precision: int = 3,
+) -> str:
+    """Render {series_name: [y...]} against shared x values."""
+    rows: Dict[str, Dict[str, float]] = {}
+    columns = [str(x) for x in x_values]
+    for name, values in series.items():
+        if len(values) != len(x_values):
+            raise ConfigError(
+                f"series {name!r} length {len(values)} != {len(x_values)}"
+            )
+        rows[name] = dict(zip(columns, values))
+    return format_table(
+        rows, columns, title=title, precision=precision, row_header=x_label
+    )

@@ -1,0 +1,84 @@
+"""Experiment runner: scheme x workload grids and associativity sweeps."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.sim.config import ExperimentScale, make_scheme
+from repro.sim.results import ResultMatrix
+from repro.sim.simulator import RunResult, run_trace
+from repro.workloads.spec_like import benchmark_names, make_benchmark_trace
+from repro.workloads.trace import Trace
+
+
+def run_matrix(
+    traces: Sequence[Trace],
+    schemes: Sequence[str],
+    scale: Optional[ExperimentScale] = None,
+    seed: int = 0xACE1,
+) -> ResultMatrix:
+    """Run every scheme on every trace at one geometry."""
+    scale = scale if scale is not None else ExperimentScale.default()
+    matrix = ResultMatrix()
+    geometry = scale.geometry()
+    for trace in traces:
+        for scheme_name in schemes:
+            cache = make_scheme(scheme_name, geometry, seed=seed)
+            result = run_trace(
+                cache,
+                trace,
+                warmup_fraction=scale.warmup_fraction,
+                machine=scale.machine,
+            )
+            matrix.add(result)
+    return matrix
+
+
+def run_benchmarks(
+    schemes: Sequence[str],
+    benchmarks: Optional[Sequence[str]] = None,
+    scale: Optional[ExperimentScale] = None,
+    seed: int = 0xACE1,
+) -> ResultMatrix:
+    """Run the (selected) SPEC-like benchmarks through every scheme."""
+    scale = scale if scale is not None else ExperimentScale.default()
+    names = list(benchmarks) if benchmarks is not None else benchmark_names()
+    traces = [
+        make_benchmark_trace(
+            name,
+            num_sets=scale.num_sets,
+            length=scale.trace_length,
+        )
+        for name in names
+    ]
+    return run_matrix(traces, schemes, scale=scale, seed=seed)
+
+
+def associativity_sweep(
+    trace: Trace,
+    schemes: Sequence[str],
+    associativities: Sequence[int],
+    scale: Optional[ExperimentScale] = None,
+    seed: int = 0xACE1,
+) -> Dict[str, List[RunResult]]:
+    """MPKI-vs-associativity curves (Figures 3 and 10).
+
+    The trace's set mapping depends only on the set count, so the same
+    trace is reused across associativities — exactly how the paper
+    varies capacity while holding the reference stream fixed.
+    """
+    scale = scale if scale is not None else ExperimentScale.default()
+    curves: Dict[str, List[RunResult]] = {name: [] for name in schemes}
+    for associativity in associativities:
+        geometry = scale.geometry(associativity=associativity)
+        for scheme_name in schemes:
+            cache = make_scheme(scheme_name, geometry, seed=seed)
+            curves[scheme_name].append(
+                run_trace(
+                    cache,
+                    trace,
+                    warmup_fraction=scale.warmup_fraction,
+                    machine=scale.machine,
+                )
+            )
+    return curves

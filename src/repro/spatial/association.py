@@ -1,0 +1,75 @@
+"""Association table: the pairing state for inter-set cooperation.
+
+Both SBC and STEM keep a table with one entry per set holding the index
+of the set it is coupled with; an uncoupled set's entry holds its own
+index (Section 4.5, following the SBC design).  Table 3 sizes it at
+2048 entries x 11 bits.  The table enforces the schemes' structural
+invariants: pairing is symmetric, one-to-one, and never self-coupled
+while marked as a pair.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.common.errors import ConfigError, SimulationError
+
+
+class AssociationTable:
+    """Symmetric one-to-one set pairing."""
+
+    def __init__(self, num_sets: int) -> None:
+        if num_sets <= 0:
+            raise ConfigError(f"num_sets must be positive, got {num_sets}")
+        self.num_sets = num_sets
+        self._partner: List[int] = list(range(num_sets))
+        self.couplings = 0
+        self.decouplings = 0
+
+    def is_coupled(self, set_index: int) -> bool:
+        """True when ``set_index`` is currently paired with another set."""
+        return self._partner[set_index] != set_index
+
+    def partner_of(self, set_index: int) -> Optional[int]:
+        """The coupled partner of ``set_index``, or None if uncoupled."""
+        partner = self._partner[set_index]
+        return None if partner == set_index else partner
+
+    def couple(self, first: int, second: int) -> None:
+        """Pair two currently-uncoupled distinct sets."""
+        if first == second:
+            raise SimulationError(f"cannot couple set {first} with itself")
+        if self.is_coupled(first) or self.is_coupled(second):
+            raise SimulationError(
+                f"couple({first}, {second}): a participant is already coupled"
+            )
+        self._partner[first] = second
+        self._partner[second] = first
+        self.couplings += 1
+
+    def decouple(self, first: int, second: int) -> None:
+        """Dissolve an existing pair, resetting both entries (§4.7)."""
+        if self._partner[first] != second or self._partner[second] != first:
+            raise SimulationError(
+                f"decouple({first}, {second}): sets are not coupled together"
+            )
+        self._partner[first] = first
+        self._partner[second] = second
+        self.decouplings += 1
+
+    def check_invariants(self) -> None:
+        """Assert the pairing relation is a symmetric partial matching."""
+        for index in range(self.num_sets):
+            partner = self._partner[index]
+            assert 0 <= partner < self.num_sets, (
+                f"entry {index} points outside the table"
+            )
+            assert self._partner[partner] == index or partner == index, (
+                f"asymmetric pairing: {index} -> {partner} -> "
+                f"{self._partner[partner]}"
+            )
+
+    def storage_bits(self) -> int:
+        """Storage cost of the table (Table 3: entries x index width)."""
+        index_bits = max(1, (self.num_sets - 1).bit_length())
+        return self.num_sets * index_bits

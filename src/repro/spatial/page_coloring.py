@@ -1,0 +1,212 @@
+"""Page coloring with a pollute buffer — the ROCS baseline (§6.3).
+
+The paper's Related Work discusses the OS-level alternative to
+hardware spatial management: ROCS (Soares et al., MICRO 2008) monitors
+per-page LLC miss rates and *re-colors* pages with persistently high
+miss rates into a small dedicated cache region (the "pollute buffer"),
+so streaming/polluting pages stop evicting useful blocks elsewhere.
+
+This module reproduces that mechanism at trace level so the software
+approach can be compared against the hardware schemes:
+
+* addresses are grouped into 4 KB pages (64 lines of 64 B);
+* an epoch-based monitor tracks per-page miss rates;
+* pages crossing ``hot_threshold`` are re-colored into the pollute
+  region (the top ``pollute_fraction`` of the sets); pages that cool
+  down are un-colored the next epoch;
+* re-coloring cost: the paper notes this software path is expensive
+  (page flush + migration).  We count re-color events; stale copies
+  left under the old color are not flushed — they simply age out,
+  briefly wasting capacity, which under-charges ROCS slightly and is
+  documented here.
+
+Lookups key on the *full block address*, so re-colored blocks can
+never alias blocks that map to the pollute sets natively.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cache.access import AccessKind
+from repro.cache.geometry import CacheGeometry
+from repro.common.errors import ConfigError
+from repro.common.rng import Lfsr
+from repro.common.stats import CacheStats
+
+#: 4 KB pages of 64 B lines: 64 blocks per page.
+PAGE_BLOCKS_BITS = 6
+
+
+class PageColoringCache:
+    """An LRU LLC fronted by a ROCS-style page re-coloring layer."""
+
+    name = "ROCS"
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        pollute_fraction: float = 1 / 16,
+        epoch_length: int = 20_000,
+        hot_threshold: float = 0.75,
+        cool_threshold: float = 0.375,
+        min_samples: int = 16,
+        rng: Optional[Lfsr] = None,
+    ) -> None:
+        if not 0.0 < pollute_fraction < 1.0:
+            raise ConfigError(
+                f"pollute_fraction must lie in (0, 1), got {pollute_fraction}"
+            )
+        if epoch_length <= 0:
+            raise ConfigError(
+                f"epoch_length must be positive, got {epoch_length}"
+            )
+        if not 0.0 < cool_threshold <= hot_threshold <= 1.0:
+            raise ConfigError(
+                "thresholds must satisfy 0 < cool <= hot <= 1, got "
+                f"cool={cool_threshold}, hot={hot_threshold}"
+            )
+        self.geometry = geometry
+        self.mapper = geometry.mapper
+        self.rng = rng if rng is not None else Lfsr()
+        self.epoch_length = epoch_length
+        self.hot_threshold = hot_threshold
+        self.cool_threshold = cool_threshold
+        self.min_samples = min_samples
+        num_sets = geometry.num_sets
+        self.pollute_sets = max(1, int(num_sets * pollute_fraction))
+        self._pollute_base = num_sets - self.pollute_sets
+        assoc = geometry.associativity
+        self.stats = CacheStats()
+        # Contents keyed by full block address (re-color safe).
+        self._lookup: List[Dict[int, int]] = [{} for _ in range(num_sets)]
+        self._way_block: List[List[Optional[int]]] = [
+            [None] * assoc for _ in range(num_sets)
+        ]
+        self._dirty: List[List[bool]] = [
+            [False] * assoc for _ in range(num_sets)
+        ]
+        self._free: List[List[int]] = [
+            list(range(assoc - 1, -1, -1)) for _ in range(num_sets)
+        ]
+        self._order: List[List[int]] = [[] for _ in range(num_sets)]
+        # Page monitor state.
+        self._colored: Dict[int, int] = {}  # page -> pollute set
+        self._page_accesses: Dict[int, int] = {}
+        self._page_misses: Dict[int, int] = {}
+        self._epoch_position = 0
+        self.recolor_events = 0
+        self.uncolor_events = 0
+
+    # ------------------------------------------------------------------
+    # Mapping
+    # ------------------------------------------------------------------
+
+    def _page_of(self, block: int) -> int:
+        return block >> PAGE_BLOCKS_BITS
+
+    def _set_of(self, block: int, page: int) -> int:
+        pollute_set = self._colored.get(page)
+        if pollute_set is not None:
+            return pollute_set
+        return block & (self.geometry.num_sets - 1)
+
+    def is_colored(self, page: int) -> bool:
+        """True when ``page`` currently lives in the pollute buffer."""
+        return page in self._colored
+
+    # ------------------------------------------------------------------
+    # Access path
+    # ------------------------------------------------------------------
+
+    def access(self, address: int, is_write: bool = False) -> AccessKind:
+        """Service one access through the re-coloring layer."""
+        block = self.mapper.block_address(address)
+        page = self._page_of(block)
+        set_index = self._set_of(block, page)
+        stats = self.stats
+        stats.accesses += 1
+        self._page_accesses[page] = self._page_accesses.get(page, 0) + 1
+        way = self._lookup[set_index].get(block)
+        if way is not None:
+            stats.hits += 1
+            stats.local_hits += 1
+            if is_write:
+                self._dirty[set_index][way] = True
+            order = self._order[set_index]
+            order.remove(way)
+            order.append(way)
+            self._tick_epoch()
+            return AccessKind.LOCAL_HIT
+        stats.misses += 1
+        stats.misses_single_probe += 1
+        self._page_misses[page] = self._page_misses.get(page, 0) + 1
+        free = self._free[set_index]
+        if free:
+            way = free.pop()
+        else:
+            way = self._order[set_index].pop(0)
+            victim = self._way_block[set_index][way]
+            del self._lookup[set_index][victim]
+            stats.evictions += 1
+            if self._dirty[set_index][way]:
+                stats.writebacks += 1
+        self._lookup[set_index][block] = way
+        self._way_block[set_index][way] = block
+        self._dirty[set_index][way] = is_write
+        self._order[set_index].append(way)
+        self._tick_epoch()
+        return AccessKind.MISS
+
+    # ------------------------------------------------------------------
+    # Epoch-based page classification
+    # ------------------------------------------------------------------
+
+    def _tick_epoch(self) -> None:
+        self._epoch_position += 1
+        if self._epoch_position < self.epoch_length:
+            return
+        self._epoch_position = 0
+        self._reclassify()
+
+    def _reclassify(self) -> None:
+        """Re-color hot-missing pages; un-color cooled ones."""
+        for page, accesses in self._page_accesses.items():
+            if accesses < self.min_samples:
+                continue
+            rate = self._page_misses.get(page, 0) / accesses
+            colored = page in self._colored
+            if not colored and rate >= self.hot_threshold:
+                pollute_set = self._pollute_base + (
+                    page % self.pollute_sets
+                )
+                self._colored[page] = pollute_set
+                self.recolor_events += 1
+            elif colored and rate < self.cool_threshold:
+                del self._colored[page]
+                self.uncolor_events += 1
+        self._page_accesses.clear()
+        self._page_misses.clear()
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def colored_pages(self) -> int:
+        """Pages currently mapped into the pollute buffer."""
+        return len(self._colored)
+
+    def reset_stats(self) -> None:
+        """Zero statistics (coloring state is preserved)."""
+        self.stats = CacheStats()
+
+    def check_invariants(self) -> None:
+        """Assert structural consistency; used by property tests."""
+        for set_index in range(self.geometry.num_sets):
+            table = self._lookup[set_index]
+            for block, way in table.items():
+                assert self._way_block[set_index][way] == block
+            occupancy = len(table) + len(self._free[set_index])
+            assert occupancy == self.geometry.associativity
+            assert sorted(self._order[set_index]) == sorted(table.values())

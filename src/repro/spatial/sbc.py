@@ -1,0 +1,307 @@
+"""SBC — the (dynamic) Set Balancing Cache (Rolán et al., MICRO 2009).
+
+SBC measures each set's *saturation level* — the difference between its
+miss and hit counts, kept in a saturating counter — and couples a
+highly-saturated *source* set with a lowly-saturated *destination* set
+chosen by a Destination Set Selector.  While coupled, the source
+displaces its LRU victims into the destination (MRU insertion), and a
+lookup that misses in the source probes the destination for
+cooperatively cached blocks.
+
+We implement the behaviour the STEM paper describes and critiques
+(Sections 3.1, 4.6, 6.2):
+
+* the saturation metric is the miss/hit count difference;
+* receiving is **unconditional** while the pair is associated — the
+  destination cannot refuse spills (STEM's "pollution" critique);
+* the pair dissolves when the destination has evicted every
+  cooperatively cached block (Section 4.7's description of SBC).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cache.access import AccessKind
+from repro.cache.block import BlockView
+from repro.cache.geometry import CacheGeometry
+from repro.common.errors import ConfigError
+from repro.common.rng import Lfsr
+from repro.common.stats import CacheStats
+from repro.spatial.association import AssociationTable
+from repro.spatial.heap import GiverHeap
+
+_ROLE_NONE = 0
+_ROLE_SOURCE = 1
+_ROLE_DEST = 2
+
+
+class SbcCache:
+    """Dynamic Set Balancing Cache over an LRU substrate."""
+
+    name = "SBC"
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        heap_capacity: int = 16,
+        saturation_limit: Optional[int] = None,
+        couple_threshold: Optional[int] = None,
+        rng: Optional[Lfsr] = None,
+    ) -> None:
+        self.geometry = geometry
+        self.mapper = geometry.mapper
+        self.rng = rng if rng is not None else Lfsr()
+        assoc = geometry.associativity
+        num_sets = geometry.num_sets
+        if num_sets < 2:
+            raise ConfigError("SBC needs at least two sets to balance")
+        # Saturation counter range and the "low saturation" bar for
+        # destination eligibility (half of the maximum, as in the SBC
+        # proposal's notion of less-saturated sets).
+        self.saturation_limit = (
+            saturation_limit if saturation_limit is not None else 2 * assoc
+        )
+        if self.saturation_limit <= 0:
+            raise ConfigError("saturation_limit must be positive")
+        self.couple_threshold = (
+            couple_threshold
+            if couple_threshold is not None
+            else self.saturation_limit // 2
+        )
+        self.stats = CacheStats()
+        self.association = AssociationTable(num_sets)
+        self.heap = GiverHeap(heap_capacity)
+        # Per-set block state: key = (tag << 1) | cc_bit  ->  way.
+        self._lookup: List[dict] = [{} for _ in range(num_sets)]
+        self._way_key: List[List[Optional[int]]] = [
+            [None] * assoc for _ in range(num_sets)
+        ]
+        self._dirty: List[List[bool]] = [
+            [False] * assoc for _ in range(num_sets)
+        ]
+        self._free: List[List[int]] = [
+            list(range(assoc - 1, -1, -1)) for _ in range(num_sets)
+        ]
+        self._order: List[List[int]] = [[] for _ in range(num_sets)]
+        self._saturation: List[int] = [0] * num_sets
+        self._role: List[int] = [_ROLE_NONE] * num_sets
+        self._cc_count: List[int] = [0] * num_sets
+
+    # ------------------------------------------------------------------
+    # Access path
+    # ------------------------------------------------------------------
+
+    def access(self, address: int, is_write: bool = False) -> AccessKind:
+        """Look up ``address`` in its home set and, for coupled sources,
+        the associated destination set; fill on miss."""
+        set_index, tag = self.mapper.split(address)
+        stats = self.stats
+        stats.accesses += 1
+        local_key = tag << 1
+        way = self._lookup[set_index].get(local_key)
+        if way is not None:
+            stats.hits += 1
+            stats.local_hits += 1
+            self._on_set_hit(set_index)
+            if is_write:
+                self._dirty[set_index][way] = True
+            self._promote(set_index, way)
+            return AccessKind.LOCAL_HIT
+        probed_coop = False
+        if self._role[set_index] == _ROLE_SOURCE:
+            dest = self.association.partner_of(set_index)
+            probed_coop = True
+            coop_way = self._lookup[dest].get((tag << 1) | 1)
+            if coop_way is not None:
+                stats.hits += 1
+                stats.cooperative_hits += 1
+                self._on_set_hit(set_index)
+                if is_write:
+                    self._dirty[dest][coop_way] = True
+                self._promote(dest, coop_way)
+                return AccessKind.COOP_HIT
+        stats.misses += 1
+        if probed_coop:
+            stats.misses_double_probe += 1
+        else:
+            stats.misses_single_probe += 1
+        saturation = min(self.saturation_limit, self._saturation[set_index] + 1)
+        self._saturation[set_index] = saturation
+        self._fill(set_index, tag, is_write)
+        return AccessKind.MISS_COOP if probed_coop else AccessKind.MISS
+
+    def _on_set_hit(self, set_index: int) -> None:
+        """Hit accounting: saturation decays; low sets post to the DSS."""
+        saturation = max(0, self._saturation[set_index] - 1)
+        self._saturation[set_index] = saturation
+        if (
+            saturation < self.couple_threshold
+            and self._role[set_index] == _ROLE_NONE
+        ):
+            self.heap.offer(set_index, saturation)
+
+    def _promote(self, set_index: int, way: int) -> None:
+        order = self._order[set_index]
+        order.remove(way)
+        order.append(way)
+
+    # ------------------------------------------------------------------
+    # Fill / spill machinery
+    # ------------------------------------------------------------------
+
+    def _fill(self, set_index: int, tag: int, is_write: bool) -> None:
+        free = self._free[set_index]
+        if free:
+            way = free.pop()
+        else:
+            way = self._order[set_index][0]
+            self._evict_for_fill(set_index, way)
+        self._install(set_index, way, (tag << 1), is_write)
+
+    def _evict_for_fill(self, set_index: int, way: int) -> None:
+        """Evict the LRU block of ``set_index`` ahead of a demand fill."""
+        key = self._way_key[set_index][way]
+        dirty = self._dirty[set_index][way]
+        self._remove(set_index, way)
+        if key & 1:
+            # A cooperatively cached block: it belongs to the coupled
+            # source; its loss may dissolve the pair.
+            self._drop_cooperative(set_index, dirty)
+            return
+        if self._role[set_index] == _ROLE_SOURCE:
+            self._spill(set_index, key >> 1, dirty)
+            return
+        if (
+            self._role[set_index] == _ROLE_NONE
+            and self._saturation[set_index] >= self.saturation_limit
+        ):
+            dest = self._try_couple(set_index)
+            if dest is not None:
+                self._spill(set_index, key >> 1, dirty)
+                return
+        self._evict_off_chip(dirty)
+
+    def _drop_cooperative(self, dest_index: int, dirty: bool) -> None:
+        self._evict_off_chip(dirty)
+        self._cc_count[dest_index] -= 1
+        if self._cc_count[dest_index] == 0:
+            source = self.association.partner_of(dest_index)
+            self._decouple(source, dest_index)
+
+    def _spill(self, source_index: int, tag: int, dirty: bool) -> None:
+        """Displace a source victim into the destination at MRU."""
+        dest = self.association.partner_of(source_index)
+        self.stats.spills += 1
+        free = self._free[dest]
+        if free:
+            way = free.pop()
+        else:
+            way = self._order[dest][0]
+            victim_key = self._way_key[dest][way]
+            victim_dirty = self._dirty[dest][way]
+            self._remove(dest, way)
+            self._evict_off_chip(victim_dirty)
+            if victim_key & 1:
+                # Replacing one cooperative block with another keeps the
+                # pair alive: adjust the count without a decouple check
+                # because the insert below restores it.
+                self._cc_count[dest] -= 1
+        self._install(dest, way, (tag << 1) | 1, dirty)
+        self._cc_count[dest] += 1
+
+    def _install(self, set_index: int, way: int, key: int, dirty: bool) -> None:
+        self._lookup[set_index][key] = way
+        self._way_key[set_index][way] = key
+        self._dirty[set_index][way] = dirty
+        self._order[set_index].append(way)  # SBC inserts at MRU.
+
+    def _remove(self, set_index: int, way: int) -> None:
+        key = self._way_key[set_index][way]
+        del self._lookup[set_index][key]
+        self._way_key[set_index][way] = None
+        self._dirty[set_index][way] = False
+        self._order[set_index].remove(way)
+        self.stats.evictions += 1
+
+    def _evict_off_chip(self, dirty: bool) -> None:
+        if dirty:
+            self.stats.writebacks += 1
+
+    # ------------------------------------------------------------------
+    # Coupling management
+    # ------------------------------------------------------------------
+
+    def _try_couple(self, source_index: int) -> Optional[int]:
+        def _valid(candidate: int) -> bool:
+            return (
+                candidate != source_index
+                and self._role[candidate] == _ROLE_NONE
+                and self._saturation[candidate] < self.couple_threshold
+            )
+
+        dest = self.heap.pop_best(_valid)
+        if dest is None:
+            return None
+        self.association.couple(source_index, dest)
+        self._role[source_index] = _ROLE_SOURCE
+        self._role[dest] = _ROLE_DEST
+        self.heap.remove(source_index)
+        self.stats.couplings += 1
+        return dest
+
+    def _decouple(self, source_index: int, dest_index: int) -> None:
+        self.association.decouple(source_index, dest_index)
+        self._role[source_index] = _ROLE_NONE
+        self._role[dest_index] = _ROLE_NONE
+        self.stats.decouplings += 1
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    def saturation_of(self, set_index: int) -> int:
+        """Current saturation level of ``set_index`` (for tests)."""
+        return self._saturation[set_index]
+
+    def role_of(self, set_index: int) -> str:
+        """'none', 'source' or 'dest' (for tests and analyses)."""
+        return ("none", "source", "dest")[self._role[set_index]]
+
+    def resident_blocks(self, set_index: int) -> List[BlockView]:
+        """Views of the valid blocks in ``set_index``."""
+        views = []
+        for key, way in sorted(self._lookup[set_index].items()):
+            views.append(
+                BlockView(
+                    set_index=set_index,
+                    way=way,
+                    tag=key >> 1,
+                    dirty=self._dirty[set_index][way],
+                    cooperative=bool(key & 1),
+                )
+            )
+        return views
+
+    def reset_stats(self) -> None:
+        """Zero statistics (e.g. after warm-up)."""
+        self.stats = CacheStats()
+
+    def check_invariants(self) -> None:
+        """Assert structural consistency; used by property tests."""
+        self.association.check_invariants()
+        for set_index in range(self.geometry.num_sets):
+            table = self._lookup[set_index]
+            cc_blocks = sum(1 for key in table if key & 1)
+            if self._role[set_index] == _ROLE_DEST:
+                assert cc_blocks == self._cc_count[set_index], (
+                    f"set {set_index}: cc bookkeeping mismatch"
+                )
+                assert self.association.is_coupled(set_index)
+            else:
+                assert cc_blocks == 0, (
+                    f"set {set_index}: cooperative blocks outside a dest set"
+                )
+            occupancy = len(table) + len(self._free[set_index])
+            assert occupancy == self.geometry.associativity
+            assert sorted(self._order[set_index]) == sorted(table.values())

@@ -1,0 +1,168 @@
+"""Victim cache — Jouppi's classic global spill buffer (extension).
+
+The oldest spatial capacity mechanism: a small fully-associative
+buffer catches every block the main cache evicts; a main-cache miss
+probes the buffer and, on a hit, swaps the block back into its home
+set.  It attacks the same set-level non-uniformity STEM targets — hot
+sets effectively borrow the buffer's capacity — but with a single
+shared pool instead of pairwise cooperation, and with no notion of
+temporal management at all.  Included as an extension baseline; the
+buffer probe costs a second tag access, so buffer hits map onto the
+paper's "second hit" (20-cycle) timing class.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cache.access import AccessKind
+from repro.cache.block import BlockView
+from repro.cache.geometry import CacheGeometry
+from repro.common.errors import ConfigError
+from repro.common.rng import Lfsr
+from repro.common.stats import CacheStats
+
+
+class VictimCache:
+    """Set-associative LRU main cache + fully-associative victim buffer."""
+
+    name = "Victim"
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        buffer_entries: int = 64,
+        rng: Optional[Lfsr] = None,
+    ) -> None:
+        if buffer_entries <= 0:
+            raise ConfigError(
+                f"buffer_entries must be positive, got {buffer_entries}"
+            )
+        self.geometry = geometry
+        self.mapper = geometry.mapper
+        self.rng = rng if rng is not None else Lfsr()
+        self.buffer_entries = buffer_entries
+        self.stats = CacheStats()
+        num_sets = geometry.num_sets
+        assoc = geometry.associativity
+        self._lookup: List[Dict[int, int]] = [{} for _ in range(num_sets)]
+        self._way_tag: List[List[Optional[int]]] = [
+            [None] * assoc for _ in range(num_sets)
+        ]
+        self._dirty: List[List[bool]] = [
+            [False] * assoc for _ in range(num_sets)
+        ]
+        self._free: List[List[int]] = [
+            list(range(assoc - 1, -1, -1)) for _ in range(num_sets)
+        ]
+        self._order: List[List[int]] = [[] for _ in range(num_sets)]
+        # Victim buffer: block address -> dirty, in LRU insertion order.
+        self._buffer: Dict[int, bool] = {}
+
+    # ------------------------------------------------------------------
+    # Access path
+    # ------------------------------------------------------------------
+
+    def access(self, address: int, is_write: bool = False) -> AccessKind:
+        """Probe the home set, then the victim buffer; fill on miss."""
+        set_index, tag = self.mapper.split(address)
+        stats = self.stats
+        stats.accesses += 1
+        way = self._lookup[set_index].get(tag)
+        if way is not None:
+            stats.hits += 1
+            stats.local_hits += 1
+            if is_write:
+                self._dirty[set_index][way] = True
+            order = self._order[set_index]
+            order.remove(way)
+            order.append(way)
+            return AccessKind.LOCAL_HIT
+        block = self.mapper.block_address(address)
+        buffered_dirty = self._buffer.pop(block, None)
+        if buffered_dirty is not None:
+            # Buffer hit: swap the block back into its home set.
+            stats.hits += 1
+            stats.cooperative_hits += 1
+            self._fill(set_index, tag, buffered_dirty or is_write)
+            return AccessKind.COOP_HIT
+        stats.misses += 1
+        stats.misses_double_probe += 1  # the buffer probe happened
+        self._fill(set_index, tag, is_write)
+        return AccessKind.MISS_COOP
+
+    def _fill(self, set_index: int, tag: int, dirty: bool) -> None:
+        free = self._free[set_index]
+        if free:
+            way = free.pop()
+        else:
+            way = self._order[set_index].pop(0)
+            victim_tag = self._way_tag[set_index][way]
+            victim_dirty = self._dirty[set_index][way]
+            del self._lookup[set_index][victim_tag]
+            self.stats.evictions += 1
+            self._spill_to_buffer(
+                self.mapper.compose(victim_tag, set_index)
+                >> self.mapper.offset_bits,
+                victim_dirty,
+            )
+        self._lookup[set_index][tag] = way
+        self._way_tag[set_index][way] = tag
+        self._dirty[set_index][way] = dirty
+        self._order[set_index].append(way)
+
+    def _spill_to_buffer(self, block: int, dirty: bool) -> None:
+        """File a main-cache victim; the buffer's LRU leaves the chip."""
+        self.stats.spills += 1
+        if block in self._buffer:
+            dirty = dirty or self._buffer.pop(block)
+        elif len(self._buffer) >= self.buffer_entries:
+            oldest = next(iter(self._buffer))
+            oldest_dirty = self._buffer.pop(oldest)
+            if oldest_dirty:
+                self.stats.writebacks += 1
+        self._buffer[block] = dirty
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def buffer_occupancy(self) -> int:
+        """Blocks currently held by the victim buffer."""
+        return len(self._buffer)
+
+    def resident_blocks(self, set_index: int) -> List[BlockView]:
+        """Views of the valid blocks in ``set_index`` (main cache)."""
+        views = []
+        for tag, way in sorted(self._lookup[set_index].items()):
+            views.append(
+                BlockView(
+                    set_index=set_index,
+                    way=way,
+                    tag=tag,
+                    dirty=self._dirty[set_index][way],
+                )
+            )
+        return views
+
+    def reset_stats(self) -> None:
+        """Zero statistics."""
+        self.stats = CacheStats()
+
+    def check_invariants(self) -> None:
+        """Assert structural consistency; used by property tests."""
+        assert len(self._buffer) <= self.buffer_entries
+        for set_index in range(self.geometry.num_sets):
+            table = self._lookup[set_index]
+            for tag, way in table.items():
+                assert self._way_tag[set_index][way] == tag
+                # Exclusivity: a resident block is never also buffered.
+                block = (
+                    self.mapper.compose(tag, set_index)
+                    >> self.mapper.offset_bits
+                )
+                assert block not in self._buffer
+            occupancy = len(table) + len(self._free[set_index])
+            assert occupancy == self.geometry.associativity
+            assert sorted(self._order[set_index]) == sorted(table.values())

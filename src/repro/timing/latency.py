@@ -1,0 +1,90 @@
+"""The paper's LLC latency model (Section 5.1, Table 1).
+
+Tag and data stores are decoupled; the latencies are:
+
+* hit: one tag-store access (6 cycles) + one data-store access
+  (8 cycles) = **14 cycles**;
+* miss in an uncoupled or giver set: one tag-store access = **6
+  cycles** before the DRAM fetch (300 cycles);
+* coupled taker missing in both its own and the cooperative set: two
+  consecutive tag-store accesses = **12 cycles** + DRAM;
+* "second hit" in the cooperative set: two tag-store accesses + one
+  data-store access = **20 cycles**.
+
+:class:`LatencyModel` maps :class:`~repro.cache.access.AccessKind` codes
+to cycles and computes the L2-local AMAT directly from a
+:class:`~repro.common.stats.CacheStats` kind breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.access import AccessKind
+from repro.common.errors import ConfigError
+from repro.common.stats import CacheStats
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Cycle costs for each LLC access outcome."""
+
+    tag_cycles: int = 6
+    data_cycles: int = 8
+    memory_cycles: int = 300
+
+    def __post_init__(self) -> None:
+        for field_name in ("tag_cycles", "data_cycles", "memory_cycles"):
+            if getattr(self, field_name) <= 0:
+                raise ConfigError(f"{field_name} must be positive")
+
+    @property
+    def local_hit_cycles(self) -> int:
+        """Hit in the home set: tag + data (paper: 14)."""
+        return self.tag_cycles + self.data_cycles
+
+    @property
+    def coop_hit_cycles(self) -> int:
+        """Second hit in the cooperative set: 2x tag + data (paper: 20)."""
+        return 2 * self.tag_cycles + self.data_cycles
+
+    @property
+    def miss_cycles(self) -> int:
+        """Single-probe miss: tag + DRAM (paper: 6 + 300)."""
+        return self.tag_cycles + self.memory_cycles
+
+    @property
+    def miss_coop_cycles(self) -> int:
+        """Double-probe miss: 2x tag + DRAM (paper: 12 + 300)."""
+        return 2 * self.tag_cycles + self.memory_cycles
+
+    def cycles_for(self, kind: AccessKind) -> int:
+        """Latency in cycles of one access with outcome ``kind``."""
+        if kind == AccessKind.LOCAL_HIT:
+            return self.local_hit_cycles
+        if kind == AccessKind.COOP_HIT:
+            return self.coop_hit_cycles
+        if kind == AccessKind.MISS:
+            return self.miss_cycles
+        if kind == AccessKind.MISS_COOP:
+            return self.miss_coop_cycles
+        raise ConfigError(f"unknown access kind: {kind!r}")
+
+    def total_cycles(self, stats: CacheStats) -> int:
+        """Aggregate LLC service cycles for a whole run."""
+        return (
+            stats.local_hits * self.local_hit_cycles
+            + stats.cooperative_hits * self.coop_hit_cycles
+            + stats.misses_single_probe * self.miss_cycles
+            + stats.misses_double_probe * self.miss_coop_cycles
+        )
+
+    def amat(self, stats: CacheStats) -> float:
+        """L2-local average memory access time in cycles."""
+        if stats.accesses == 0:
+            return 0.0
+        return self.total_cycles(stats) / stats.accesses
+
+
+#: The configuration used throughout the paper's evaluation.
+PAPER_LATENCY = LatencyModel(tag_cycles=6, data_cycles=8, memory_cycles=300)

@@ -1,0 +1,273 @@
+"""Parametric workload generation with controlled set-level demand.
+
+The paper's whole argument rests on *set-level non-uniformity of
+capacity demands* (Section 3), so the generator framework is organised
+around it: a workload is a partition of the cache's sets into *groups*,
+each group giving its sets a per-set reference stream with a chosen
+reuse structure and working-set size, plus an access weight.  The
+resulting interleaved trace exercises exactly the behaviours the
+evaluated schemes differ on:
+
+* ``cyclic``    — a looping working set; thrashes LRU when the set size
+  exceeds the associativity (the paper's Figure 2 streams), the bread
+  and butter of BIP/DIP;
+* ``zipf``      — skewed popularity with frequency (not recency)
+  locality; friendly to every policy once the hot blocks fit;
+* ``streaming`` — never-reused blocks; pure compulsory misses that no
+  policy can remove, and "zero capacity demand" in Figure 1's terms;
+* ``recency``   — short geometric reuse distances over a moving frontier;
+  LRU-friendly and *insertion-hostile* (BIP evicts new blocks before
+  their imminent reuse), the pattern behind the paper's ``astar``
+  pathology.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.common.addressing import AddressMapper
+from repro.common.errors import ConfigError
+from repro.common.rng import SplitMix
+from repro.workloads.trace import Trace, TraceMetadata
+
+_STREAM_KINDS = ("cyclic", "zipf", "streaming", "recency")
+
+
+@dataclass(frozen=True)
+class SetGroupSpec:
+    """One group of sets sharing a reference-stream shape.
+
+    Parameters
+    ----------
+    fraction:
+        Share of the cache's sets assigned to this group; the fractions
+        of all groups in a workload must sum to 1 (within rounding).
+    weight:
+        Relative access frequency *per set* in this group.
+    kind:
+        One of ``cyclic``, ``zipf``, ``streaming``, ``recency``.
+    ws_min / ws_max:
+        Working-set size range in blocks; each set draws its own size
+        uniformly from the inclusive range (ignored for ``streaming``).
+    zipf_alpha:
+        Skew of the zipf popularity law (``kind='zipf'`` only).
+    reuse_mean:
+        Mean geometric reuse distance in distinct blocks
+        (``kind='recency'`` only).
+    new_fraction:
+        Probability that a ``recency`` access touches a brand-new block.
+    stream_fraction:
+        Probability that any access is instead a never-reused
+        (compulsory-miss) block.  Injecting these *within* each set
+        keeps the miss pressure uniform across sets — the signature of
+        the paper's Class II/III workloads, where no under-saturated
+        sets exist for spatial schemes to exploit.
+    """
+
+    fraction: float
+    weight: float
+    kind: str
+    ws_min: int = 1
+    ws_max: int = 1
+    zipf_alpha: float = 0.8
+    reuse_mean: float = 6.0
+    new_fraction: float = 0.25
+    stream_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.fraction <= 1.0:
+            raise ConfigError(f"fraction must lie in (0, 1], got {self.fraction}")
+        if self.weight <= 0.0:
+            raise ConfigError(f"weight must be positive, got {self.weight}")
+        if self.kind not in _STREAM_KINDS:
+            raise ConfigError(
+                f"kind must be one of {_STREAM_KINDS}, got {self.kind!r}"
+            )
+        if self.ws_min <= 0 or self.ws_max < self.ws_min:
+            raise ConfigError(
+                f"bad working-set range [{self.ws_min}, {self.ws_max}]"
+            )
+        if not 0.0 < self.new_fraction <= 1.0:
+            raise ConfigError(
+                f"new_fraction must lie in (0, 1], got {self.new_fraction}"
+            )
+        if self.reuse_mean <= 0.0:
+            raise ConfigError(
+                f"reuse_mean must be positive, got {self.reuse_mean}"
+            )
+        if not 0.0 <= self.stream_fraction < 1.0:
+            raise ConfigError(
+                f"stream_fraction must lie in [0, 1), got {self.stream_fraction}"
+            )
+
+
+class _SetStream:
+    """Per-set tag stream state (one instance per cache set)."""
+
+    __slots__ = ("kind", "ws_size", "position", "zipf_cdf", "reuse_mean",
+                 "new_fraction", "frontier", "stream_fraction", "stream_next")
+
+    #: Tag offset for injected compulsory-miss blocks: far above any
+    #: working-set tag so the two populations never alias.
+    _STREAM_BASE = 1 << 24
+
+    def __init__(self, spec: SetGroupSpec, ws_size: int) -> None:
+        self.kind = spec.kind
+        self.ws_size = ws_size
+        self.position = 0
+        self.frontier = 0
+        self.stream_fraction = spec.stream_fraction
+        self.stream_next = self._STREAM_BASE
+        self.reuse_mean = spec.reuse_mean
+        self.new_fraction = spec.new_fraction
+        self.zipf_cdf: Optional[List[float]] = None
+        if spec.kind == "zipf":
+            masses = [1.0 / (rank ** spec.zipf_alpha)
+                      for rank in range(1, ws_size + 1)]
+            total = sum(masses)
+            running = 0.0
+            cdf = []
+            for mass in masses:
+                running += mass / total
+                cdf.append(running)
+            cdf[-1] = 1.0
+            self.zipf_cdf = cdf
+
+    def next_tag(self, rng: SplitMix) -> int:
+        """Produce the next tag referenced by this set's working set."""
+        if self.stream_fraction > 0.0 and rng.random() < self.stream_fraction:
+            tag = self.stream_next
+            self.stream_next += 1
+            return tag
+        kind = self.kind
+        if kind == "cyclic":
+            tag = self.position
+            self.position += 1
+            if self.position >= self.ws_size:
+                self.position = 0
+            return tag
+        if kind == "zipf":
+            return bisect_right(self.zipf_cdf, rng.random())
+        if kind == "streaming":
+            tag = self.position
+            self.position += 1
+            return tag
+        # recency: geometric reuse over a moving frontier of new blocks.
+        if self.frontier == 0 or rng.random() < self.new_fraction:
+            tag = self.frontier
+            self.frontier += 1
+            return tag
+        distance = 0
+        escape = 1.0 / self.reuse_mean
+        while rng.random() > escape and distance < self.frontier - 1:
+            distance += 1
+        return self.frontier - 1 - distance
+
+
+@dataclass
+class WorkloadSpec:
+    """A full synthetic workload: groups + interleaving parameters."""
+
+    name: str
+    groups: Sequence[SetGroupSpec]
+    accesses_per_kilo_instruction: float = 20.0
+    description: str = ""
+    spec_class: str = ""
+    write_fraction: float = 0.0
+    shuffle_sets: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.groups:
+            raise ConfigError("a workload needs at least one set group")
+        total = sum(group.fraction for group in self.groups)
+        if abs(total - 1.0) > 1e-6:
+            raise ConfigError(
+                f"group fractions must sum to 1, got {total:.6f}"
+            )
+        if self.accesses_per_kilo_instruction <= 0.0:
+            raise ConfigError("accesses_per_kilo_instruction must be positive")
+        if not 0.0 <= self.write_fraction < 1.0:
+            raise ConfigError(
+                f"write_fraction must lie in [0, 1), got {self.write_fraction}"
+            )
+
+
+def generate_trace(
+    spec: WorkloadSpec,
+    num_sets: int,
+    length: int,
+    line_size: int = 64,
+    address_bits: int = 44,
+    seed: int = 1,
+) -> Trace:
+    """Materialise ``length`` accesses of ``spec`` over ``num_sets`` sets.
+
+    Sets are dealt to groups proportionally to each group's fraction
+    (optionally shuffled so groups interleave across the index space,
+    which keeps DIP's leader-set sampling representative), then accesses
+    pick a set by weighted sampling and extend that set's stream.
+    """
+    if length <= 0:
+        raise ConfigError(f"length must be positive, got {length}")
+    mapper = AddressMapper(
+        num_sets=num_sets, line_size=line_size, address_bits=address_bits
+    )
+    rng = SplitMix(seed=seed)
+    set_indices = list(range(num_sets))
+    if spec.shuffle_sets:
+        rng.shuffle(set_indices)
+    # Deal sets to groups.
+    streams: List[Optional[_SetStream]] = [None] * num_sets
+    weights: List[float] = [0.0] * num_sets
+    cursor = 0
+    for group_number, group in enumerate(spec.groups):
+        if group_number == len(spec.groups) - 1:
+            count = num_sets - cursor  # absorb rounding in the last group
+        else:
+            count = max(1, round(group.fraction * num_sets))
+        for set_index in set_indices[cursor:cursor + count]:
+            ws_size = rng.randint(group.ws_min, group.ws_max)
+            streams[set_index] = _SetStream(group, ws_size)
+            weights[set_index] = group.weight
+        cursor += count
+        if cursor >= num_sets:
+            break
+    # Rounding can leave a set unassigned (tiny configurations); give it
+    # a zero-weight streaming stream so a boundary tie in the sampler
+    # below still produces a valid access.
+    fallback = SetGroupSpec(fraction=1.0, weight=1.0, kind="streaming")
+    for set_index in range(num_sets):
+        if streams[set_index] is None:
+            streams[set_index] = _SetStream(fallback, 1)
+    # Weighted set selection via a cumulative table + binary search.
+    cumulative: List[float] = []
+    running = 0.0
+    for weight in weights:
+        running += weight
+        cumulative.append(running)
+    total_weight = running
+    addresses: List[int] = []
+    writes: Optional[List[bool]] = [] if spec.write_fraction > 0.0 else None
+    append = addresses.append
+    compose = mapper.compose
+    for _ in range(length):
+        set_index = bisect_right(cumulative, rng.random() * total_weight)
+        if set_index >= num_sets:
+            set_index = num_sets - 1
+        tag = streams[set_index].next_tag(rng)
+        append(compose(tag, set_index))
+        if writes is not None:
+            writes.append(rng.random() < spec.write_fraction)
+    instructions = max(1, round(length * 1000.0
+                                / spec.accesses_per_kilo_instruction))
+    metadata = TraceMetadata(
+        name=spec.name,
+        instructions=instructions,
+        line_size=line_size,
+        address_bits=address_bits,
+        description=spec.description,
+        spec_class=spec.spec_class,
+    )
+    return Trace(metadata, addresses, writes)

@@ -1,0 +1,192 @@
+"""Classic access-pattern generators for cache studies.
+
+Beyond the paper's SPEC-like models, a cache-simulation library needs
+the canonical microbenchmark patterns — the shapes every replacement
+paper reasons about.  Each generator returns a standard
+:class:`~repro.workloads.trace.Trace` so everything downstream
+(simulators, profilers, timelines) applies unchanged.
+
+* :func:`sequential_scan` — a linear walk over an array, optionally
+  repeated: pure spatial streaming, the canonical LRU-poison when the
+  array exceeds the cache;
+* :func:`strided_scan` — the same walk with a power-of-two stride,
+  which concentrates pressure on a subset of sets (the conflict-miss
+  classic);
+* :func:`pointer_chase` — a random permutation cycle: maximal reuse
+  distance, no spatial locality, the memory-latency-bound archetype;
+* :func:`tiled_matrix_traversal` — blocked 2-D traversal: high reuse
+  within a tile, a working set per tile, the capacity-vs-tiling story;
+* :func:`hot_cold` — a hot region absorbing most accesses over a cold
+  backdrop: the frequency-locality archetype.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.common.errors import ConfigError
+from repro.common.rng import SplitMix
+from repro.workloads.trace import Trace, TraceMetadata
+
+
+def _trace(name: str, addresses: List[int], line_size: int,
+           accesses_per_kilo_instruction: float, description: str) -> Trace:
+    instructions = max(
+        1, round(len(addresses) * 1000.0 / accesses_per_kilo_instruction)
+    )
+    metadata = TraceMetadata(
+        name=name,
+        instructions=instructions,
+        line_size=line_size,
+        description=description,
+    )
+    return Trace(metadata, addresses)
+
+
+def sequential_scan(
+    array_bytes: int,
+    passes: int = 1,
+    element_bytes: int = 8,
+    line_size: int = 64,
+    base_address: int = 0,
+    accesses_per_kilo_instruction: float = 250.0,
+) -> Trace:
+    """Walk an array front to back, ``passes`` times."""
+    if array_bytes <= 0 or passes <= 0 or element_bytes <= 0:
+        raise ConfigError("array_bytes, passes, element_bytes must be > 0")
+    addresses: List[int] = []
+    elements = array_bytes // element_bytes
+    for _ in range(passes):
+        for index in range(elements):
+            addresses.append(base_address + index * element_bytes)
+    return _trace(
+        "sequential-scan", addresses, line_size,
+        accesses_per_kilo_instruction,
+        f"{passes} pass(es) over {array_bytes} bytes",
+    )
+
+
+def strided_scan(
+    array_bytes: int,
+    stride_bytes: int,
+    passes: int = 1,
+    line_size: int = 64,
+    base_address: int = 0,
+    accesses_per_kilo_instruction: float = 250.0,
+) -> Trace:
+    """Walk an array with a fixed stride (conflict-miss generator)."""
+    if stride_bytes <= 0:
+        raise ConfigError(f"stride_bytes must be > 0, got {stride_bytes}")
+    if array_bytes <= 0 or passes <= 0:
+        raise ConfigError("array_bytes and passes must be > 0")
+    addresses: List[int] = []
+    for _ in range(passes):
+        position = 0
+        while position < array_bytes:
+            addresses.append(base_address + position)
+            position += stride_bytes
+    return _trace(
+        "strided-scan", addresses, line_size,
+        accesses_per_kilo_instruction,
+        f"stride {stride_bytes} over {array_bytes} bytes x{passes}",
+    )
+
+
+def pointer_chase(
+    num_nodes: int,
+    hops: int,
+    node_bytes: int = 64,
+    line_size: int = 64,
+    base_address: int = 0,
+    seed: int = 7,
+    accesses_per_kilo_instruction: float = 100.0,
+) -> Trace:
+    """Follow a random permutation cycle through ``num_nodes`` nodes."""
+    if num_nodes <= 1 or hops <= 0:
+        raise ConfigError("num_nodes must be > 1 and hops > 0")
+    rng = SplitMix(seed=seed)
+    order = list(range(num_nodes))
+    rng.shuffle(order)
+    next_node = [0] * num_nodes
+    for position, node in enumerate(order):
+        next_node[node] = order[(position + 1) % num_nodes]
+    addresses: List[int] = []
+    node = order[0]
+    for _ in range(hops):
+        addresses.append(base_address + node * node_bytes)
+        node = next_node[node]
+    return _trace(
+        "pointer-chase", addresses, line_size,
+        accesses_per_kilo_instruction,
+        f"{hops} hops over a {num_nodes}-node permutation cycle",
+    )
+
+
+def tiled_matrix_traversal(
+    matrix_rows: int,
+    matrix_cols: int,
+    tile: int,
+    sweeps_per_tile: int = 4,
+    element_bytes: int = 8,
+    line_size: int = 64,
+    base_address: int = 0,
+    accesses_per_kilo_instruction: float = 200.0,
+) -> Trace:
+    """Blocked row-major traversal: reuse within each tile."""
+    if matrix_rows <= 0 or matrix_cols <= 0:
+        raise ConfigError("matrix dimensions must be positive")
+    if tile <= 0 or sweeps_per_tile <= 0:
+        raise ConfigError("tile and sweeps_per_tile must be positive")
+    addresses: List[int] = []
+    for tile_row in range(0, matrix_rows, tile):
+        for tile_col in range(0, matrix_cols, tile):
+            for _ in range(sweeps_per_tile):
+                for row in range(tile_row, min(tile_row + tile, matrix_rows)):
+                    for col in range(
+                        tile_col, min(tile_col + tile, matrix_cols)
+                    ):
+                        offset = (row * matrix_cols + col) * element_bytes
+                        addresses.append(base_address + offset)
+    return _trace(
+        "tiled-matrix", addresses, line_size,
+        accesses_per_kilo_instruction,
+        f"{matrix_rows}x{matrix_cols} matrix, {tile}x{tile} tiles, "
+        f"{sweeps_per_tile} sweeps",
+    )
+
+
+def hot_cold(
+    hot_bytes: int,
+    cold_bytes: int,
+    length: int,
+    hot_fraction: float = 0.9,
+    element_bytes: int = 64,
+    line_size: int = 64,
+    base_address: int = 0,
+    seed: int = 11,
+    accesses_per_kilo_instruction: float = 150.0,
+) -> Trace:
+    """Random accesses: ``hot_fraction`` hit a small hot region."""
+    if hot_bytes <= 0 or cold_bytes <= 0 or length <= 0:
+        raise ConfigError("hot_bytes, cold_bytes, length must be positive")
+    if not 0.0 < hot_fraction < 1.0:
+        raise ConfigError(
+            f"hot_fraction must lie in (0, 1), got {hot_fraction}"
+        )
+    rng = SplitMix(seed=seed)
+    hot_elements = max(1, hot_bytes // element_bytes)
+    cold_elements = max(1, cold_bytes // element_bytes)
+    cold_base = base_address + hot_elements * element_bytes
+    addresses: List[int] = []
+    for _ in range(length):
+        if rng.random() < hot_fraction:
+            index = rng.randint(0, hot_elements - 1)
+            addresses.append(base_address + index * element_bytes)
+        else:
+            index = rng.randint(0, cold_elements - 1)
+            addresses.append(cold_base + index * element_bytes)
+    return _trace(
+        "hot-cold", addresses, line_size,
+        accesses_per_kilo_instruction,
+        f"{hot_fraction:.0%} of accesses in {hot_bytes} hot bytes",
+    )

@@ -1,0 +1,157 @@
+"""Memory traces: the unit of work every experiment consumes.
+
+A :class:`Trace` is a flat list of physical block addresses (optionally
+with per-access write flags) plus :class:`TraceMetadata` describing the
+program it stands for — most importantly the instruction count, which
+turns miss counts into the paper's MPKI metric.  Traces are plain data:
+generators build them, simulators iterate them, and they round-trip
+through a small text format for archiving.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, List, Optional
+
+from repro.common.errors import TraceError
+
+
+@dataclass(frozen=True)
+class TraceMetadata:
+    """Descriptive metadata accompanying a trace.
+
+    ``instructions`` is the number of dynamic instructions the trace
+    represents; generators derive it from their accesses-per-kilo-
+    instruction parameter so MPKI is well defined (DESIGN.md §7).
+    """
+
+    name: str
+    instructions: int
+    line_size: int = 64
+    address_bits: int = 44
+    description: str = ""
+    spec_class: str = ""  # 'I', 'II', 'III' or '' for non-benchmark traces
+
+    def __post_init__(self) -> None:
+        if self.instructions <= 0:
+            raise TraceError(
+                f"instructions must be positive, got {self.instructions}"
+            )
+
+
+@dataclass
+class Trace:
+    """A sequence of memory accesses with program-level metadata."""
+
+    metadata: TraceMetadata
+    addresses: List[int]
+    writes: Optional[List[bool]] = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.writes is not None and len(self.writes) != len(self.addresses):
+            raise TraceError(
+                "writes mask length does not match the address stream: "
+                f"{len(self.writes)} vs {len(self.addresses)}"
+            )
+
+    def __len__(self) -> int:
+        return len(self.addresses)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.addresses)
+
+    @property
+    def name(self) -> str:
+        """Convenience passthrough to the metadata name."""
+        return self.metadata.name
+
+    @property
+    def accesses_per_kilo_instruction(self) -> float:
+        """APKI — the paper's bridge between misses and MPKI."""
+        return len(self.addresses) * 1000.0 / self.metadata.instructions
+
+    def slice(self, start: int, stop: int) -> "Trace":
+        """A sub-trace over ``[start, stop)`` with scaled instructions.
+
+        Instruction counts are prorated so MPKI computed on the slice
+        remains comparable with the full trace.
+        """
+        if not 0 <= start <= stop <= len(self.addresses):
+            raise TraceError(
+                f"slice [{start}, {stop}) out of bounds for {len(self)} accesses"
+            )
+        fraction = (stop - start) / max(1, len(self.addresses))
+        scaled = max(1, round(self.metadata.instructions * fraction))
+        metadata = TraceMetadata(
+            name=self.metadata.name,
+            instructions=scaled,
+            line_size=self.metadata.line_size,
+            address_bits=self.metadata.address_bits,
+            description=self.metadata.description,
+            spec_class=self.metadata.spec_class,
+        )
+        writes = self.writes[start:stop] if self.writes is not None else None
+        return Trace(metadata, self.addresses[start:stop], writes)
+
+    # ------------------------------------------------------------------
+    # Persistence: a line-oriented text format with a JSON header
+    # ------------------------------------------------------------------
+
+    def save(self, path: "Path | str") -> None:
+        """Write the trace as '<json header>\\n<hex addr>[ w]\\n...'."""
+        path = Path(path)
+        header = {
+            "name": self.metadata.name,
+            "instructions": self.metadata.instructions,
+            "line_size": self.metadata.line_size,
+            "address_bits": self.metadata.address_bits,
+            "description": self.metadata.description,
+            "spec_class": self.metadata.spec_class,
+        }
+        with path.open("w", encoding="utf-8") as handle:
+            handle.write(json.dumps(header) + "\n")
+            if self.writes is None:
+                for address in self.addresses:
+                    handle.write(f"{address:x}\n")
+            else:
+                for address, write in zip(self.addresses, self.writes):
+                    suffix = " w" if write else ""
+                    handle.write(f"{address:x}{suffix}\n")
+
+    @classmethod
+    def load(cls, path: "Path | str") -> "Trace":
+        """Read a trace previously written by :meth:`save`."""
+        path = Path(path)
+        with path.open("r", encoding="utf-8") as handle:
+            header_line = handle.readline()
+            try:
+                header = json.loads(header_line)
+            except json.JSONDecodeError as exc:
+                raise TraceError(f"malformed trace header in {path}") from exc
+            metadata = TraceMetadata(
+                name=header["name"],
+                instructions=header["instructions"],
+                line_size=header.get("line_size", 64),
+                address_bits=header.get("address_bits", 44),
+                description=header.get("description", ""),
+                spec_class=header.get("spec_class", ""),
+            )
+            addresses: List[int] = []
+            writes: List[bool] = []
+            any_write = False
+            for line_number, line in enumerate(handle, start=2):
+                parts = line.split()
+                if not parts:
+                    continue
+                try:
+                    addresses.append(int(parts[0], 16))
+                except ValueError as exc:
+                    raise TraceError(
+                        f"{path}:{line_number}: bad address {parts[0]!r}"
+                    ) from exc
+                is_write = len(parts) > 1 and parts[1] == "w"
+                writes.append(is_write)
+                any_write = any_write or is_write
+        return cls(metadata, addresses, writes if any_write else None)

@@ -1,0 +1,84 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.common.addressing import AddressMapper
+from repro.common.rng import SplitMix
+
+
+@pytest.fixture
+def small_geometry() -> CacheGeometry:
+    """A 16-set, 4-way cache: big enough for every scheme's machinery."""
+    return CacheGeometry(num_sets=16, associativity=4, line_size=64)
+
+
+@pytest.fixture
+def paper_geometry() -> CacheGeometry:
+    """The paper's 2 MB / 16-way / 2048-set configuration."""
+    return CacheGeometry(num_sets=2048, associativity=16, line_size=64)
+
+
+@pytest.fixture
+def two_set_geometry() -> CacheGeometry:
+    """The Figure 2 toy: 2 sets, 4 ways."""
+    return CacheGeometry(num_sets=2, associativity=4, line_size=64)
+
+
+def compose_address(
+    geometry: CacheGeometry, tag: int, set_index: int
+) -> int:
+    """Block-aligned address with the given tag and set."""
+    return geometry.mapper.compose(tag, set_index)
+
+
+def cyclic_addresses(
+    geometry: CacheGeometry, set_index: int, working_set: int, length: int
+) -> "list[int]":
+    """A cyclic reference stream confined to one set."""
+    mapper = geometry.mapper
+    return [
+        mapper.compose(i % working_set, set_index) for i in range(length)
+    ]
+
+
+def random_addresses(
+    geometry: CacheGeometry,
+    length: int,
+    tag_space: int = 64,
+    seed: int = 7,
+) -> "list[int]":
+    """Uniformly random block addresses over a bounded tag space."""
+    rng = SplitMix(seed=seed)
+    mapper = geometry.mapper
+    return [
+        mapper.compose(
+            rng.randint(0, tag_space - 1),
+            rng.randint(0, geometry.num_sets - 1),
+        )
+        for _ in range(length)
+    ]
+
+
+class ReferenceLru:
+    """A deliberately naive LRU cache used as a differential oracle."""
+
+    def __init__(self, mapper: AddressMapper, associativity: int) -> None:
+        self.mapper = mapper
+        self.associativity = associativity
+        self.sets: dict = {}
+
+    def access(self, address: int) -> bool:
+        """True on hit; maintains per-set python-list LRU order."""
+        set_index, tag = self.mapper.split(address)
+        entries = self.sets.setdefault(set_index, [])
+        if tag in entries:
+            entries.remove(tag)
+            entries.append(tag)
+            return True
+        if len(entries) >= self.associativity:
+            entries.pop(0)
+        entries.append(tag)
+        return False

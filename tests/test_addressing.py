@@ -1,0 +1,96 @@
+"""Unit tests for physical-address decomposition."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.addressing import AddressMapper, is_power_of_two, log2_exact
+from repro.common.errors import ConfigError
+
+
+class TestPowerOfTwoHelpers:
+    def test_powers_of_two_accepted(self):
+        for exponent in range(20):
+            assert is_power_of_two(1 << exponent)
+
+    def test_non_powers_rejected(self):
+        for value in (0, -1, 3, 6, 12, 100):
+            assert not is_power_of_two(value)
+
+    def test_log2_exact_values(self):
+        assert log2_exact(1) == 0
+        assert log2_exact(64) == 6
+        assert log2_exact(2048) == 11
+
+    def test_log2_exact_rejects_non_power(self):
+        with pytest.raises(ConfigError, match="power of two"):
+            log2_exact(48, what="num_sets")
+
+
+class TestAddressMapperConstruction:
+    def test_paper_geometry_field_widths(self):
+        # Table 3: 44-bit addresses, 2048 sets, 64 B lines -> 27-bit tags.
+        mapper = AddressMapper(num_sets=2048, line_size=64, address_bits=44)
+        assert mapper.offset_bits == 6
+        assert mapper.index_bits == 11
+        assert mapper.tag_bits == 27
+
+    def test_single_set_mapper(self):
+        mapper = AddressMapper(num_sets=1, line_size=64)
+        assert mapper.index_bits == 0
+        assert mapper.set_index(0xDEADBEEF) == 0
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ConfigError):
+            AddressMapper(num_sets=100, line_size=64)
+
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(ConfigError):
+            AddressMapper(num_sets=4, line_size=48)
+
+    def test_rejects_too_narrow_address(self):
+        with pytest.raises(ConfigError, match="address_bits"):
+            AddressMapper(num_sets=1024, line_size=64, address_bits=16)
+
+
+class TestDecomposition:
+    def setup_method(self):
+        self.mapper = AddressMapper(num_sets=64, line_size=64, address_bits=44)
+
+    def test_offset_does_not_change_block(self):
+        base = self.mapper.compose(tag=5, set_index=3)
+        for offset in (0, 1, 17, 63):
+            assert self.mapper.block_address(base + offset) == (
+                self.mapper.block_address(base)
+            )
+
+    def test_adjacent_blocks_map_to_adjacent_sets(self):
+        # The MOD placement walks sets sequentially (Section 2.1).
+        for block in range(130):
+            address = block * 64
+            assert self.mapper.set_index(address) == block % 64
+
+    def test_split_matches_individual_accessors(self):
+        address = self.mapper.compose(tag=0x1234, set_index=21) + 13
+        set_index, tag = self.mapper.split(address)
+        assert set_index == self.mapper.set_index(address) == 21
+        assert tag == self.mapper.tag(address) == 0x1234
+
+    def test_compose_rejects_bad_set(self):
+        with pytest.raises(ConfigError):
+            self.mapper.compose(tag=1, set_index=64)
+
+    @given(
+        tag=st.integers(min_value=0, max_value=(1 << 32) - 1),
+        set_index=st.integers(min_value=0, max_value=63),
+    )
+    def test_compose_split_roundtrip(self, tag, set_index):
+        address = self.mapper.compose(tag, set_index)
+        assert self.mapper.split(address) == (set_index, tag)
+
+    @given(address=st.integers(min_value=0, max_value=(1 << 44) - 1))
+    def test_split_fields_recompose_block(self, address):
+        set_index, tag = self.mapper.split(address)
+        block_aligned = self.mapper.compose(tag, set_index)
+        assert self.mapper.block_address(block_aligned) == (
+            self.mapper.block_address(address)
+        )

@@ -1,0 +1,111 @@
+"""Tests for the association table and the candidate-giver heap."""
+
+import pytest
+
+from repro.common.errors import ConfigError, SimulationError
+from repro.spatial.association import AssociationTable
+from repro.spatial.heap import GiverHeap
+
+
+class TestAssociationTable:
+    def test_initially_everyone_uncoupled(self):
+        table = AssociationTable(8)
+        for index in range(8):
+            assert not table.is_coupled(index)
+            assert table.partner_of(index) is None
+
+    def test_couple_decouple_cycle(self):
+        table = AssociationTable(8)
+        table.couple(1, 5)
+        assert table.partner_of(1) == 5
+        assert table.partner_of(5) == 1
+        assert table.couplings == 1
+        table.decouple(1, 5)
+        assert not table.is_coupled(1)
+        assert not table.is_coupled(5)
+        assert table.decouplings == 1
+
+    def test_self_coupling_rejected(self):
+        table = AssociationTable(4)
+        with pytest.raises(SimulationError):
+            table.couple(2, 2)
+
+    def test_double_coupling_rejected(self):
+        table = AssociationTable(4)
+        table.couple(0, 1)
+        with pytest.raises(SimulationError):
+            table.couple(1, 2)
+
+    def test_decouple_of_uncoupled_rejected(self):
+        table = AssociationTable(4)
+        with pytest.raises(SimulationError):
+            table.decouple(0, 1)
+
+    def test_invariants_hold(self):
+        table = AssociationTable(16)
+        table.couple(0, 3)
+        table.couple(7, 9)
+        table.check_invariants()
+
+    def test_storage_bits_table3(self):
+        # Table 3: 2048 entries x 11 bits.
+        assert AssociationTable(2048).storage_bits() == 2048 * 11
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ConfigError):
+            AssociationTable(0)
+
+
+class TestGiverHeap:
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ConfigError):
+            GiverHeap(0)
+
+    def test_offer_and_pop_least_saturated(self):
+        heap = GiverHeap(4)
+        heap.offer(10, saturation=5)
+        heap.offer(11, saturation=2)
+        heap.offer(12, saturation=7)
+        assert heap.pop_best(lambda s: True) == 11
+        assert heap.pop_best(lambda s: True) == 10
+
+    def test_full_heap_replaces_most_saturated(self):
+        heap = GiverHeap(2)
+        heap.offer(1, saturation=5)
+        heap.offer(2, saturation=6)
+        assert heap.offer(3, saturation=1)  # kicks out set 2
+        assert 2 not in heap
+        assert 3 in heap
+        assert heap.replacements == 1
+
+    def test_full_heap_rejects_more_saturated(self):
+        heap = GiverHeap(2)
+        heap.offer(1, saturation=1)
+        heap.offer(2, saturation=2)
+        assert not heap.offer(3, saturation=9)
+        assert 3 not in heap
+
+    def test_reoffer_updates_saturation(self):
+        heap = GiverHeap(4)
+        heap.offer(1, saturation=5)
+        heap.offer(2, saturation=3)
+        heap.offer(1, saturation=0)
+        assert heap.pop_best(lambda s: True) == 1
+
+    def test_stale_entries_discarded_by_validator(self):
+        heap = GiverHeap(4)
+        heap.offer(1, saturation=0)
+        heap.offer(2, saturation=5)
+        assert heap.pop_best(lambda s: s != 1) == 2
+        assert 1 not in heap  # discarded as stale
+
+    def test_pop_empty_returns_none(self):
+        heap = GiverHeap(4)
+        assert heap.pop_best(lambda s: True) is None
+
+    def test_remove_is_idempotent(self):
+        heap = GiverHeap(4)
+        heap.offer(1, saturation=0)
+        heap.remove(1)
+        heap.remove(1)
+        assert len(heap) == 0

@@ -1,0 +1,89 @@
+"""Tests for Belady's OPT oracle."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.basecache import SetAssociativeCache
+from repro.cache.geometry import CacheGeometry
+from repro.common.errors import ConfigError
+from repro.policies.belady import OptSimulator, opt_miss_curve, opt_misses
+from repro.policies.lru import LruPolicy
+
+from tests.conftest import random_addresses
+
+
+class TestOptMisses:
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ConfigError):
+            opt_misses([1, 2, 3], 0)
+
+    def test_cold_misses_only_when_everything_fits(self):
+        stream = [1, 2, 3, 1, 2, 3, 1, 2, 3]
+        assert opt_misses(stream, 3) == 3
+
+    def test_textbook_example(self):
+        # Classic OPT illustration: 3 frames.
+        stream = [7, 0, 1, 2, 0, 3, 0, 4, 2, 3, 0, 3, 2, 1, 2, 0, 1, 7, 0, 1]
+        assert opt_misses(stream, 3) == 9
+
+    def test_cyclic_loop_opt_rate_bounds(self):
+        # OPT on a cyclic loop of w blocks with capacity c beats LIP's
+        # pinned rate of (w-c+1)/w but cannot go below (w-c)/w.
+        w, c, cycles = 6, 4, 50
+        stream = list(range(w)) * cycles
+        misses = opt_misses(stream, c)
+        steady_rate = (misses - w) / (len(stream) - w)
+        assert (w - c) / w <= steady_rate < (w - c + 1) / w
+
+    def test_monotone_in_capacity(self):
+        stream = [i % 17 for i in range(0, 300, 3)]
+        curve = opt_miss_curve(stream, range(1, 10))
+        values = [curve[c] for c in range(1, 10)]
+        assert values == sorted(values, reverse=True)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        stream=st.lists(
+            st.integers(min_value=0, max_value=12), min_size=1, max_size=200
+        ),
+        capacity=st.integers(min_value=1, max_value=6),
+    )
+    def test_opt_never_worse_than_lru(self, stream, capacity):
+        # The defining property of Belady's algorithm (Section 2.2).
+        geometry = CacheGeometry(num_sets=1, associativity=capacity)
+        cache = SetAssociativeCache(geometry, LruPolicy())
+        lru_misses = 0
+        for tag in stream:
+            if not cache.access(geometry.mapper.compose(tag, 0)).is_hit:
+                lru_misses += 1
+        assert opt_misses(stream, capacity) <= lru_misses
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        stream=st.lists(
+            st.integers(min_value=0, max_value=8), min_size=1, max_size=100
+        )
+    )
+    def test_distinct_blocks_lower_bound(self, stream):
+        # Demand-fetch OPT misses every block's first reference, so the
+        # distinct-block count bounds it below at any capacity and is
+        # reached exactly once capacity stops mattering.
+        assert opt_misses(stream, 4) >= len(set(stream))
+        assert opt_misses(stream, 1000) == len(set(stream))
+
+
+class TestOptSimulator:
+    def test_rejects_bad_associativity(self):
+        geometry = CacheGeometry(num_sets=4, associativity=2)
+        with pytest.raises(ConfigError):
+            OptSimulator(geometry.mapper, 0)
+
+    def test_whole_trace_never_worse_than_lru(self):
+        geometry = CacheGeometry(num_sets=4, associativity=2)
+        addresses = random_addresses(geometry, 500, tag_space=10)
+        cache = SetAssociativeCache(geometry, LruPolicy())
+        lru_misses = sum(
+            0 if cache.access(a).is_hit else 1 for a in addresses
+        )
+        oracle = OptSimulator(geometry.mapper, 2)
+        assert oracle.misses(addresses) <= lru_misses

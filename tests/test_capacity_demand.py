@@ -1,0 +1,123 @@
+"""Tests for the Figure 1 capacity-demand characterisation."""
+
+import pytest
+
+from repro.analysis.capacity_demand import profile_capacity_demand
+from repro.common.errors import ConfigError
+from repro.workloads.generators import SetGroupSpec, WorkloadSpec, generate_trace
+from repro.workloads.synthetic import interleaved_cyclic_trace
+from repro.workloads.trace import Trace, TraceMetadata
+
+from tests.conftest import cyclic_addresses
+from repro.cache.geometry import CacheGeometry
+
+
+def trace_from_addresses(addresses, name="t"):
+    return Trace(
+        TraceMetadata(name=name, instructions=max(1, len(addresses))),
+        list(addresses),
+    )
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        trace = trace_from_addresses([0])
+        with pytest.raises(ConfigError):
+            profile_capacity_demand(trace, num_sets=4, max_ways=0)
+        with pytest.raises(ConfigError):
+            profile_capacity_demand(trace, num_sets=4, interval_length=0)
+
+
+class TestDemandSemantics:
+    def test_fitting_loop_demand_equals_working_set(self):
+        geometry = CacheGeometry(num_sets=4, associativity=16)
+        stream = cyclic_addresses(geometry, 0, working_set=6, length=600)
+        profile = profile_capacity_demand(
+            trace_from_addresses(stream), num_sets=4, interval_length=600
+        )
+        assert profile.demands[0][0] == 6
+
+    def test_streaming_set_has_zero_demand(self):
+        geometry = CacheGeometry(num_sets=4, associativity=16)
+        stream = [geometry.mapper.compose(i, 1) for i in range(500)]
+        profile = profile_capacity_demand(
+            trace_from_addresses(stream), num_sets=4, interval_length=500
+        )
+        # No amount of capacity yields a hit: the Figure 1(b) blue band.
+        assert profile.demands[0][1] == 0
+
+    def test_idle_set_has_zero_demand(self):
+        geometry = CacheGeometry(num_sets=4, associativity=16)
+        stream = cyclic_addresses(geometry, 0, working_set=2, length=100)
+        profile = profile_capacity_demand(
+            trace_from_addresses(stream), num_sets=4, interval_length=100
+        )
+        assert profile.demands[0][3] == 0
+
+    def test_demand_clamped_at_max_ways(self):
+        geometry = CacheGeometry(num_sets=4, associativity=16)
+        stream = cyclic_addresses(geometry, 0, working_set=64, length=1000)
+        profile = profile_capacity_demand(
+            trace_from_addresses(stream),
+            num_sets=4,
+            max_ways=32,
+            interval_length=1000,
+        )
+        assert profile.demands[0][0] <= 32
+
+    def test_partial_final_interval_counted(self):
+        geometry = CacheGeometry(num_sets=4, associativity=16)
+        stream = cyclic_addresses(geometry, 0, working_set=3, length=150)
+        profile = profile_capacity_demand(
+            trace_from_addresses(stream), num_sets=4, interval_length=100
+        )
+        assert profile.num_intervals == 2
+
+
+class TestBands:
+    def test_band_layout_matches_figure1_legend(self):
+        geometry = CacheGeometry(num_sets=2, associativity=4)
+        stream = cyclic_addresses(geometry, 0, 2, 50)
+        profile = profile_capacity_demand(
+            trace_from_addresses(stream), num_sets=2, interval_length=50
+        )
+        bands = profile.bands()
+        assert bands[0] == (0, 0)
+        assert bands[1] == (1, 2)
+        assert bands[-1] == (31, 32)
+
+    def test_band_distribution_sums_to_one(self):
+        trace = interleaved_cyclic_trace((6, 2), rounds=200)
+        profile = profile_capacity_demand(
+            trace, num_sets=2, interval_length=100
+        )
+        for interval in range(profile.num_intervals):
+            total = sum(profile.band_distribution(interval).values())
+            assert total == pytest.approx(1.0)
+
+    def test_mean_distribution_aggregates(self):
+        trace = interleaved_cyclic_trace((6, 2), rounds=200)
+        profile = profile_capacity_demand(
+            trace, num_sets=2, interval_length=100
+        )
+        assert sum(profile.mean_distribution().values()) == pytest.approx(1.0)
+
+
+class TestNonUniformWorkload:
+    def test_bimodal_demand_detected(self):
+        spec = WorkloadSpec(
+            name="bimodal",
+            groups=(
+                SetGroupSpec(fraction=0.5, weight=1.0, kind="cyclic",
+                             ws_min=2, ws_max=2),
+                SetGroupSpec(fraction=0.5, weight=1.0, kind="cyclic",
+                             ws_min=24, ws_max=24),
+            ),
+        )
+        trace = generate_trace(spec, num_sets=16, length=20_000, seed=5)
+        profile = profile_capacity_demand(
+            trace, num_sets=16, interval_length=10_000
+        )
+        small = profile.fraction_with_demand_at_most(4)
+        assert small == pytest.approx(0.5, abs=0.15)
+        assert profile.fraction_with_demand_at_most(32) == 1.0

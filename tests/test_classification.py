@@ -1,0 +1,91 @@
+"""Tests for the Figure 6 workload classifier."""
+
+import pytest
+
+from repro.analysis.classification import classify_trace
+from repro.workloads.generators import SetGroupSpec, WorkloadSpec, generate_trace
+from repro.workloads.spec_like import make_benchmark_trace
+
+
+def classify_spec(groups, num_sets=32, length=20_000, associativity=16):
+    spec = WorkloadSpec(name="probe", groups=groups)
+    trace = generate_trace(spec, num_sets=num_sets, length=length, seed=3)
+    return classify_trace(
+        trace, num_sets=num_sets, associativity=associativity
+    )
+
+
+class TestArchetypes:
+    def test_bimodal_demand_is_class_one(self):
+        result = classify_spec((
+            SetGroupSpec(fraction=0.5, weight=1.0, kind="cyclic",
+                         ws_min=2, ws_max=4),
+            SetGroupSpec(fraction=0.5, weight=1.0, kind="recency",
+                         reuse_mean=18.0, new_fraction=0.08),
+        ))
+        assert result.spatially_improvable
+        assert result.giver_fraction > 0.3
+        assert result.taker_fraction > 0.05
+
+    def test_uniform_thrash_is_class_two(self):
+        result = classify_spec((
+            SetGroupSpec(fraction=1.0, weight=1.0, kind="cyclic",
+                         ws_min=40, ws_max=48),
+        ))
+        assert result.temporally_improvable
+        assert not result.spatially_improvable
+        assert result.label in ("II", "I+II")
+
+    def test_fitting_zipf_is_class_three(self):
+        result = classify_spec((
+            SetGroupSpec(fraction=1.0, weight=1.0, kind="zipf",
+                         ws_min=8, ws_max=8, zipf_alpha=1.0),
+        ))
+        assert result.label == "III"
+        assert not result.temporally_improvable
+        assert result.thrash_fraction < 0.05
+
+    def test_mixed_workload_can_be_both(self):
+        # Reachable takers (ws in (a, 2a]) + givers -> spatial; an
+        # unreachable thrashing group on top -> temporal as well.
+        result = classify_spec((
+            SetGroupSpec(fraction=0.4, weight=1.0, kind="cyclic",
+                         ws_min=2, ws_max=4),
+            SetGroupSpec(fraction=0.3, weight=1.0, kind="cyclic",
+                         ws_min=20, ws_max=28),
+            SetGroupSpec(fraction=0.3, weight=3.0, kind="cyclic",
+                         ws_min=40, ws_max=48),
+        ))
+        assert result.spatially_improvable
+        assert result.temporally_improvable
+        assert result.label == "I+II"
+
+    def test_unreachable_loops_are_not_givers(self):
+        # A loop beyond the 32-way oracle has "zero demand" by the
+        # Figure 1 definition but must not count as spare capacity.
+        result = classify_spec((
+            SetGroupSpec(fraction=1.0, weight=1.0, kind="cyclic",
+                         ws_min=40, ws_max=48),
+        ))
+        assert result.giver_fraction < 0.1
+
+
+class TestBenchmarkClassification:
+    @pytest.mark.parametrize("name", ["omnetpp", "apsi"])
+    def test_class_one_benchmarks_score_spatial(self, name):
+        trace = make_benchmark_trace(name, num_sets=64, length=40_000)
+        result = classify_trace(trace, num_sets=64, associativity=16)
+        assert result.spatially_improvable
+
+    @pytest.mark.parametrize("name", ["mcf", "sphinx3", "cactusADM"])
+    def test_class_two_benchmarks_score_temporal(self, name):
+        trace = make_benchmark_trace(name, num_sets=64, length=40_000)
+        result = classify_trace(trace, num_sets=64, associativity=16)
+        assert result.temporally_improvable
+
+    @pytest.mark.parametrize("name", ["gobmk", "gromacs", "twolf", "vpr"])
+    def test_class_three_benchmarks_score_neutral(self, name):
+        trace = make_benchmark_trace(name, num_sets=64, length=40_000)
+        result = classify_trace(trace, num_sets=64, associativity=16)
+        assert not result.temporally_improvable
+        assert result.label == "III"

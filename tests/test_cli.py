@@ -1,0 +1,77 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "STEM", "firefox"])
+
+    def test_figure_names_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "figure99"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "STEM" in output
+        assert "omnetpp" in output
+        assert "figure7" in output
+
+    def test_run(self, capsys):
+        code = main([
+            "run", "STEM", "vpr", "--sets", "32", "--length", "8000"
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "MPKI=" in output
+        assert "STEM on vpr" in output
+
+    def test_compare(self, capsys):
+        code = main([
+            "compare", "vpr", "--schemes", "LRU,STEM",
+            "--sets", "32", "--length", "8000",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "LRU" in output
+        assert "STEM" in output
+
+    def test_sweep(self, capsys):
+        code = main([
+            "sweep", "vpr", "--schemes", "LRU",
+            "--associativities", "2,4",
+            "--sets", "32", "--length", "6000",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "MPKI vs associativity" in output
+
+    def test_profile(self, capsys):
+        code = main([
+            "profile", "ammp", "--sets", "32", "--length", "12000"
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "classification" in output
+
+    def test_overhead(self, capsys):
+        assert main(["overhead"]) == 0
+        assert "3.1" in capsys.readouterr().out.replace("3.16", "3.1")
+
+    def test_figure_table3(self, capsys):
+        assert main(["figure", "table3"]) == 0
+        assert "Table 3" in capsys.readouterr().out
+
+    def test_figure_figure2(self, capsys):
+        assert main(["figure", "figure2"]) == 0
+        assert "Figure 2" in capsys.readouterr().out

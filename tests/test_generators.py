@@ -1,0 +1,157 @@
+"""Tests for the parametric workload generators."""
+
+import pytest
+
+from repro.analysis.stack_distance import COLD, StackDistanceProfiler
+from repro.common.addressing import AddressMapper
+from repro.common.errors import ConfigError
+from repro.workloads.generators import (
+    SetGroupSpec,
+    WorkloadSpec,
+    generate_trace,
+)
+
+
+def single_group_spec(kind="cyclic", **kwargs):
+    return WorkloadSpec(
+        name="test",
+        groups=(SetGroupSpec(fraction=1.0, weight=1.0, kind=kind, **kwargs),),
+    )
+
+
+class TestSpecValidation:
+    def test_group_fraction_bounds(self):
+        with pytest.raises(ConfigError):
+            SetGroupSpec(fraction=0.0, weight=1.0, kind="cyclic")
+
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigError):
+            SetGroupSpec(fraction=1.0, weight=1.0, kind="mystery")
+
+    def test_bad_working_set_range(self):
+        with pytest.raises(ConfigError):
+            SetGroupSpec(
+                fraction=1.0, weight=1.0, kind="cyclic", ws_min=4, ws_max=2
+            )
+
+    def test_bad_stream_fraction(self):
+        with pytest.raises(ConfigError):
+            SetGroupSpec(
+                fraction=1.0, weight=1.0, kind="zipf", stream_fraction=1.0
+            )
+
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(ConfigError, match="sum to 1"):
+            WorkloadSpec(
+                name="x",
+                groups=(
+                    SetGroupSpec(fraction=0.5, weight=1.0, kind="cyclic"),
+                    SetGroupSpec(fraction=0.4, weight=1.0, kind="cyclic"),
+                ),
+            )
+
+    def test_needs_groups(self):
+        with pytest.raises(ConfigError):
+            WorkloadSpec(name="x", groups=())
+
+
+class TestGeneration:
+    def test_deterministic_per_seed(self):
+        spec = single_group_spec(ws_min=4, ws_max=8)
+        a = generate_trace(spec, num_sets=8, length=500, seed=3)
+        b = generate_trace(spec, num_sets=8, length=500, seed=3)
+        c = generate_trace(spec, num_sets=8, length=500, seed=4)
+        assert a.addresses == b.addresses
+        assert a.addresses != c.addresses
+
+    def test_length_and_instructions(self):
+        spec = single_group_spec()
+        trace = generate_trace(spec, num_sets=8, length=1000)
+        assert len(trace) == 1000
+        assert trace.accesses_per_kilo_instruction == pytest.approx(
+            20.0, rel=0.01
+        )
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ConfigError):
+            generate_trace(single_group_spec(), num_sets=8, length=0)
+
+    def test_addresses_block_aligned_and_in_range(self):
+        spec = single_group_spec(ws_min=2, ws_max=6)
+        trace = generate_trace(spec, num_sets=16, length=800)
+        mapper = AddressMapper(num_sets=16, line_size=64)
+        for address in trace.addresses:
+            assert address % 64 == 0
+            assert 0 <= mapper.set_index(address) < 16
+
+    def test_write_fraction_produces_mask(self):
+        spec = WorkloadSpec(
+            name="w",
+            groups=(SetGroupSpec(fraction=1.0, weight=1.0, kind="cyclic"),),
+            write_fraction=0.3,
+        )
+        trace = generate_trace(spec, num_sets=8, length=2000)
+        assert trace.writes is not None
+        rate = sum(trace.writes) / len(trace.writes)
+        assert rate == pytest.approx(0.3, abs=0.05)
+
+
+class TestStreamShapes:
+    def _per_set_streams(self, spec, num_sets=8, length=4000):
+        trace = generate_trace(spec, num_sets=num_sets, length=length)
+        mapper = AddressMapper(num_sets=num_sets, line_size=64)
+        streams = {}
+        for address in trace.addresses:
+            set_index, tag = mapper.split(address)
+            streams.setdefault(set_index, []).append(tag)
+        return streams
+
+    def test_cyclic_sets_have_bounded_tag_population(self):
+        spec = single_group_spec(ws_min=5, ws_max=5)
+        for stream in self._per_set_streams(spec).values():
+            assert len(set(stream)) == 5
+
+    def test_streaming_sets_never_reuse(self):
+        spec = single_group_spec(kind="streaming")
+        for stream in self._per_set_streams(spec).values():
+            assert len(set(stream)) == len(stream)
+
+    def test_zipf_sets_are_skewed(self):
+        spec = single_group_spec(kind="zipf", ws_min=16, ws_max=16,
+                                 zipf_alpha=1.0)
+        for stream in self._per_set_streams(spec).values():
+            if len(stream) < 100:
+                continue
+            top = max(stream.count(tag) for tag in set(stream))
+            assert top / len(stream) > 1.5 / 16  # hotter than uniform
+
+    def test_recency_sets_have_short_reuse_distances(self):
+        spec = single_group_spec(
+            kind="recency", reuse_mean=4.0, new_fraction=0.2
+        )
+        for stream in self._per_set_streams(spec).values():
+            if len(stream) < 200:
+                continue
+            profiler = StackDistanceProfiler(max_depth=64)
+            shallow = 0
+            rereferences = 0
+            for tag in stream:
+                distance = profiler.record(tag)
+                if distance == COLD:
+                    continue
+                rereferences += 1
+                shallow += distance < 8
+            assert rereferences > 0
+            assert shallow / rereferences > 0.6
+
+    def test_stream_fraction_injects_compulsory_misses(self):
+        spec = single_group_spec(
+            kind="cyclic", ws_min=4, ws_max=4, stream_fraction=0.4
+        )
+        for stream in self._per_set_streams(spec).values():
+            if len(stream) < 50:
+                continue
+            singles = sum(
+                1 for tag in set(stream) if stream.count(tag) == 1
+            )
+            assert singles / len(stream) == pytest.approx(0.4, abs=0.12)

@@ -1,0 +1,105 @@
+"""Integration tests for the two-level cache hierarchy."""
+
+from repro.cache.basecache import SetAssociativeCache
+from repro.cache.geometry import CacheGeometry
+from repro.cache.hierarchy import CacheHierarchy, default_l1_geometry
+from repro.core.stem_cache import StemCache
+from repro.policies.lru import LruPolicy
+
+from tests.conftest import random_addresses
+
+
+def make_hierarchy(llc=None):
+    if llc is None:
+        llc_geometry = CacheGeometry(num_sets=64, associativity=4)
+        llc = SetAssociativeCache(llc_geometry, LruPolicy())
+    return CacheHierarchy(llc)
+
+
+class TestL1Filtering:
+    def test_default_l1_matches_table1(self):
+        geometry = default_l1_geometry()
+        assert geometry.capacity_bytes == 32 * 1024
+        assert geometry.associativity == 2
+
+    def test_l1_hit_short_circuits_llc(self):
+        hierarchy = make_hierarchy()
+        address = 0x8000
+        assert hierarchy.access(address) == "memory"
+        assert hierarchy.access(address) == "l1"
+        assert hierarchy.llc.stats.accesses == 1
+
+    def test_l1_miss_llc_hit(self):
+        hierarchy = make_hierarchy()
+        address = 0x8000
+        hierarchy.access(address)
+        # Evict the block from the tiny direct path by thrashing L1's
+        # set with conflicting addresses that share the L1 index.
+        l1 = hierarchy.l1
+        set_index = l1.mapper.set_index(address)
+        conflicts = [
+            l1.mapper.compose(tag, set_index) for tag in (100, 101, 102)
+        ]
+        for conflict in conflicts:
+            hierarchy.access(conflict)
+        assert not l1.contains(address)
+        level = hierarchy.access(address)
+        assert level in ("llc", "memory")
+
+    def test_levels_accounted_in_cycles(self):
+        hierarchy = make_hierarchy()
+        hierarchy.access(0x8000)
+        miss_cycles = hierarchy.total_cycles
+        assert miss_cycles >= hierarchy.latency.miss_cycles
+        hierarchy.access(0x8000)
+        assert hierarchy.total_cycles == miss_cycles + hierarchy.l1_hit_cycles
+
+
+class TestWritebackPath:
+    def test_dirty_l1_victim_reaches_llc_write_buffer(self):
+        hierarchy = make_hierarchy()
+        l1 = hierarchy.l1
+        victim = l1.mapper.compose(7, 3)
+        hierarchy.access(victim, is_write=True)
+        # Force the dirty block out of L1.
+        for tag in (200, 201):
+            hierarchy.access(l1.mapper.compose(tag, 3))
+        assert hierarchy.l1_wb.enqueued >= 1
+
+    def test_drain_flushes_buffers_to_memory(self):
+        hierarchy = make_hierarchy()
+        hierarchy.access(0x1000, is_write=True)
+        hierarchy.l1_wb.push(0x40)
+        writes_before = hierarchy.memory.writes
+        hierarchy.drain()
+        assert hierarchy.memory.writes >= writes_before + 1
+
+
+class TestWithStemLlc:
+    def test_stem_behind_l1(self):
+        llc = StemCache(CacheGeometry(num_sets=64, associativity=4))
+        hierarchy = CacheHierarchy(llc)
+        for address in random_addresses(llc.geometry, 3000, tag_space=40):
+            hierarchy.access(address)
+        llc.check_invariants()
+        assert llc.stats.accesses > 0
+        assert hierarchy.amat_cycles > 0
+
+    def test_instruction_retirement_accounting(self):
+        hierarchy = make_hierarchy()
+        hierarchy.retire_instructions(1000)
+        assert hierarchy.instructions == 1000
+
+    def test_mshr_merging_counted(self):
+        hierarchy = make_hierarchy()
+        # Two accesses to the same block with the block forced out of
+        # L1 between them but inside the LLC-MSHR latency window.
+        address = 0x2000
+        hierarchy.access(address)
+        l1 = hierarchy.l1
+        set_index = l1.mapper.set_index(address)
+        for tag in (50, 51):
+            hierarchy.access(l1.mapper.compose(tag, set_index))
+        hierarchy.llc.invalidate(address)
+        hierarchy.access(address)
+        assert hierarchy.llc_mshr.secondary_misses >= 1

@@ -1,0 +1,122 @@
+"""Tests for metrics, the latency model and the CPI model."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    evaluate_run,
+    geomean,
+    improvement_over_baseline,
+    mpki,
+    normalize_to_baseline,
+)
+from repro.cache.access import AccessKind
+from repro.common.errors import ConfigError
+from repro.common.stats import CacheStats
+from repro.timing.cpi import PAPER_CPI, CpiModel
+from repro.timing.latency import PAPER_LATENCY, LatencyModel
+
+
+class TestLatencyModel:
+    def test_paper_cycle_costs(self):
+        # Section 5.1's exact numbers.
+        model = PAPER_LATENCY
+        assert model.local_hit_cycles == 14
+        assert model.coop_hit_cycles == 20
+        assert model.miss_cycles == 306
+        assert model.miss_coop_cycles == 312
+
+    def test_cycles_for_each_kind(self):
+        model = PAPER_LATENCY
+        assert model.cycles_for(AccessKind.LOCAL_HIT) == 14
+        assert model.cycles_for(AccessKind.COOP_HIT) == 20
+        assert model.cycles_for(AccessKind.MISS) == 306
+        assert model.cycles_for(AccessKind.MISS_COOP) == 312
+
+    def test_amat_weighted_average(self):
+        stats = CacheStats(
+            accesses=10,
+            hits=6,
+            misses=4,
+            local_hits=5,
+            cooperative_hits=1,
+            misses_single_probe=3,
+            misses_double_probe=1,
+        )
+        model = PAPER_LATENCY
+        expected = (5 * 14 + 1 * 20 + 3 * 306 + 1 * 312) / 10
+        assert model.amat(stats) == pytest.approx(expected)
+
+    def test_amat_empty_stats(self):
+        assert PAPER_LATENCY.amat(CacheStats()) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            LatencyModel(tag_cycles=0)
+
+
+class TestCpiModel:
+    def test_no_misses_floor(self):
+        stats = CacheStats()
+        assert PAPER_CPI.cpi(1000, stats, PAPER_LATENCY) == pytest.approx(
+            PAPER_CPI.base_cpi
+        )
+
+    def test_stall_cycles_scale_with_misses(self):
+        light = CacheStats(accesses=10, hits=10, misses=0, local_hits=10)
+        heavy = CacheStats(
+            accesses=10, hits=0, misses=10, misses_single_probe=10
+        )
+        cpi_light = PAPER_CPI.cpi(1000, light, PAPER_LATENCY)
+        cpi_heavy = PAPER_CPI.cpi(1000, heavy, PAPER_LATENCY)
+        assert cpi_heavy > cpi_light
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            CpiModel(base_cpi=0.0)
+        with pytest.raises(ConfigError):
+            CpiModel(overlap=0.0)
+        with pytest.raises(ConfigError):
+            PAPER_CPI.cpi(0, CacheStats(), PAPER_LATENCY)
+
+
+class TestMetrics:
+    def test_mpki(self):
+        assert mpki(misses=50, instructions=10_000) == pytest.approx(5.0)
+        with pytest.raises(ConfigError):
+            mpki(1, 0)
+
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geomean([2.0, 2.0, 2.0]) == pytest.approx(2.0)
+        with pytest.raises(ConfigError):
+            geomean([])
+        with pytest.raises(ConfigError):
+            geomean([1.0, 0.0])
+
+    def test_normalize_to_baseline(self):
+        table = {"LRU": 4.0, "STEM": 3.0, "DIP": 5.0}
+        normalized = normalize_to_baseline(table)
+        assert normalized["LRU"] == 1.0
+        assert normalized["STEM"] == pytest.approx(0.75)
+        assert normalized["DIP"] == pytest.approx(1.25)
+
+    def test_normalize_missing_baseline(self):
+        with pytest.raises(ConfigError):
+            normalize_to_baseline({"STEM": 1.0}, baseline="LRU")
+
+    def test_improvement_conversion(self):
+        # The paper's phrasing: normalized 0.786 -> 21.4% improvement.
+        assert improvement_over_baseline(0.786) == pytest.approx(21.4)
+        assert improvement_over_baseline(1.092) == pytest.approx(-9.2)
+
+    def test_evaluate_run_bundles_metrics(self):
+        stats = CacheStats(
+            accesses=100, hits=90, misses=10,
+            local_hits=90, misses_single_probe=10,
+        )
+        metrics = evaluate_run("LRU", "demo", stats, instructions=5000)
+        assert metrics.mpki == pytest.approx(2.0)
+        assert metrics.miss_rate == pytest.approx(0.1)
+        assert metrics.amat > 14
+        assert metrics.cpi > PAPER_CPI.base_cpi
+        assert set(metrics.as_dict()) == {"mpki", "amat", "cpi", "miss_rate"}

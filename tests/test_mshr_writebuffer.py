@@ -1,0 +1,107 @@
+"""Tests for MSHRs, write buffers, memory and bus models."""
+
+import pytest
+
+from repro.cache.memory import Bus, MainMemory
+from repro.cache.mshr import MshrFile
+from repro.cache.writebuffer import WriteBuffer
+from repro.common.errors import ConfigError
+
+
+class TestMshr:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigError):
+            MshrFile(0)
+        with pytest.raises(ConfigError):
+            MshrFile(4, miss_latency=0)
+
+    def test_primary_then_secondary_merge(self):
+        mshr = MshrFile(capacity=4, miss_latency=10)
+        assert not mshr.register_miss(0x100)  # primary
+        assert mshr.register_miss(0x100)      # merged while in flight
+        assert mshr.primary_misses == 1
+        assert mshr.secondary_misses == 1
+
+    def test_entry_retires_after_latency(self):
+        mshr = MshrFile(capacity=4, miss_latency=3)
+        mshr.register_miss(0x100)
+        for _ in range(4):
+            mshr.tick()
+        assert not mshr.register_miss(0x100)  # primary again
+        assert mshr.primary_misses == 2
+
+    def test_full_file_counts_stall(self):
+        mshr = MshrFile(capacity=2, miss_latency=100)
+        mshr.register_miss(0x1)
+        mshr.register_miss(0x2)
+        mshr.register_miss(0x3)
+        assert mshr.stalls == 1
+
+    def test_outstanding_tracks_live_entries(self):
+        mshr = MshrFile(capacity=8, miss_latency=5)
+        mshr.register_miss(0x1)
+        mshr.register_miss(0x2)
+        assert mshr.outstanding == 2
+
+
+class TestWriteBuffer:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigError):
+            WriteBuffer(0)
+        with pytest.raises(ConfigError):
+            WriteBuffer(4, drain_interval=0)
+
+    def test_drains_on_interval(self):
+        buffer = WriteBuffer(capacity=4, drain_interval=2)
+        buffer.push(0x1)
+        buffer.tick()
+        assert buffer.occupancy == 1
+        buffer.tick()
+        assert buffer.occupancy == 0
+        assert buffer.drained == 1
+
+    def test_full_buffer_stalls(self):
+        buffer = WriteBuffer(capacity=2, drain_interval=100)
+        assert buffer.push(0x1)
+        assert buffer.push(0x2)
+        assert not buffer.push(0x3)
+        assert buffer.full_stalls == 1
+        assert buffer.occupancy == 2
+
+    def test_flush_empties(self):
+        buffer = WriteBuffer(capacity=4)
+        buffer.push(0x1)
+        buffer.push(0x2)
+        assert buffer.flush() == 2
+        assert buffer.occupancy == 0
+
+
+class TestBusAndMemory:
+    def test_bus_transfer_cycles_table1(self):
+        # 64-byte line over a 16 B/cycle bus at 2:1 with 1-cycle arb.
+        bus = Bus(bytes_per_cycle=16, speed_ratio=2, arbitration_cycles=1)
+        assert bus.transfer_cycles(64) == 1 + 4 * 2
+
+    def test_bus_validation(self):
+        with pytest.raises(ConfigError):
+            Bus(bytes_per_cycle=0)
+        with pytest.raises(ConfigError):
+            Bus(speed_ratio=0)
+        with pytest.raises(ConfigError):
+            Bus(arbitration_cycles=-1)
+
+    def test_memory_flat_latency(self):
+        memory = MainMemory(latency_cycles=300)
+        assert memory.read_line() == 300
+        assert memory.write_line() == 300
+        assert memory.reads == 1
+        assert memory.writes == 1
+        assert memory.traffic_lines == 2
+
+    def test_memory_with_bus(self):
+        memory = MainMemory(latency_cycles=300, bus=Bus())
+        assert memory.read_line() == 300 + 9
+
+    def test_memory_validation(self):
+        with pytest.raises(ConfigError):
+            MainMemory(latency_cycles=0)

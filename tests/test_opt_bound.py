@@ -1,0 +1,56 @@
+"""Universal optimality bound: no scheme beats fully-associative OPT.
+
+Belady's MIN with the cache's *total* capacity and full associativity
+lower-bounds the miss count of any replacement/placement scheme over
+the same capacity — including the cooperative ones, which merely move
+blocks between sets.  This is the strongest cheap oracle available and
+it catches a whole class of accounting bugs (e.g. double-counting hits
+or losing track of resident blocks).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.geometry import CacheGeometry
+from repro.policies.belady import opt_misses
+from repro.sim.config import make_scheme
+
+GEOMETRY = CacheGeometry(num_sets=4, associativity=4)  # 16 lines total
+
+SCHEMES = ("LRU", "LIP", "BIP", "DIP", "FIFO", "NRU", "SRRIP", "DRRIP",
+           "Random", "PeLIFO", "V-Way", "SBC", "StaticSBC", "STEM")
+
+access_streams = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=3),   # set index
+        st.integers(min_value=0, max_value=11),  # tag
+    ),
+    min_size=1,
+    max_size=300,
+)
+
+
+@settings(max_examples=12, deadline=None)
+@given(stream=access_streams, scheme=st.sampled_from(SCHEMES))
+def test_no_scheme_beats_global_opt(stream, scheme):
+    mapper = GEOMETRY.mapper
+    addresses = [mapper.compose(tag, s) for s, tag in stream]
+    cache = make_scheme(scheme, GEOMETRY)
+    misses = sum(0 if cache.access(a).is_hit else 1 for a in addresses)
+    blocks = [mapper.block_address(a) for a in addresses]
+    lower_bound = opt_misses(blocks, GEOMETRY.num_lines)
+    assert misses >= lower_bound
+
+
+@settings(max_examples=12, deadline=None)
+@given(stream=access_streams)
+def test_vway_extra_tags_do_not_create_capacity(stream):
+    # V-Way has 2x tag entries but the same data capacity: global OPT
+    # still bounds it.
+    mapper = GEOMETRY.mapper
+    addresses = [mapper.compose(tag, s) for s, tag in stream]
+    cache = make_scheme("V-Way", GEOMETRY)
+    misses = sum(0 if cache.access(a).is_hit else 1 for a in addresses)
+    blocks = [mapper.block_address(a) for a in addresses]
+    assert misses >= opt_misses(blocks, GEOMETRY.num_lines)
+    # And resident lines never exceed the physical data store.
+    cache.check_invariants()

@@ -1,0 +1,53 @@
+"""Tests for the optimality-gap experiment and the workload report."""
+
+import pytest
+
+from repro.analysis.report import build_report, render_report
+from repro.cli import main as cli_main
+from repro.experiments import optgap
+from repro.sim.config import ExperimentScale
+
+SMALL = ExperimentScale(num_sets=32, associativity=16, trace_length=10_000)
+
+
+class TestOptGap:
+    def test_gaps_at_least_one(self):
+        result = optgap.run(
+            benchmarks=("vpr",), schemes=("LRU", "STEM"), scale=SMALL
+        )
+        assert result.gap("vpr", "LRU") >= 1.0
+        assert result.gap("vpr", "STEM") >= 1.0
+
+    def test_stem_gap_not_worse_than_lru_on_thrash(self):
+        result = optgap.run(
+            benchmarks=("mcf",), schemes=("LRU", "STEM"), scale=SMALL
+        )
+        assert result.gap("mcf", "STEM") <= result.gap("mcf", "LRU") * 1.02
+
+    def test_main_renders(self, capsys):
+        optgap.main(scale=SMALL)
+        assert "Optimality gap" in capsys.readouterr().out
+
+
+class TestWorkloadReport:
+    def test_report_structure(self):
+        report = build_report("vpr", schemes=("LRU", "STEM"), scale=SMALL)
+        assert report.trace_name == "vpr"
+        assert set(report.scheme_results) == {"LRU", "STEM"}
+        assert report.best_scheme() in ("LRU", "STEM")
+        assert sum(report.demand_bands.values()) == pytest.approx(1.0)
+        assert report.miss_curve[2] >= report.miss_curve[32]
+
+    def test_render_contains_sections(self):
+        report = build_report("mcf", schemes=("LRU",), scale=SMALL)
+        text = render_report(report)
+        assert "classification:" in text
+        assert "LRU miss curve:" in text
+        assert "best scheme by MPKI" in text
+
+    def test_cli_report_command(self, capsys):
+        code = cli_main([
+            "report", "vpr", "--sets", "32", "--length", "8000"
+        ])
+        assert code == 0
+        assert "Workload report: vpr" in capsys.readouterr().out

@@ -1,0 +1,80 @@
+"""Tests for the Table 3 storage-overhead arithmetic."""
+
+import pytest
+
+from repro.analysis.overhead import (
+    dip_overhead,
+    index_bits,
+    lru_baseline_bits,
+    paper_table3_geometry,
+    pelifo_overhead,
+    rank_bits,
+    sbc_overhead,
+    stem_overhead,
+    vway_overhead,
+)
+from repro.core.config import StemConfig
+
+
+class TestFieldWidths:
+    def test_rank_bits(self):
+        assert rank_bits(16) == 4  # Table 3's replacement rank field
+        assert rank_bits(32) == 5
+        assert rank_bits(1) == 1
+
+    def test_index_bits(self):
+        assert index_bits(2048) == 11  # Table 3's association entry
+
+
+class TestBaseline:
+    def test_baseline_per_line_bits(self):
+        geometry = paper_table3_geometry()
+        total = lru_baseline_bits(geometry)
+        # 512 data + 27 tag + valid + dirty + 4 rank = 545 bits/line.
+        assert total == 545 * 32768
+
+
+class TestStemBudget:
+    def test_paper_overhead_is_3_1_percent(self):
+        report = stem_overhead(paper_table3_geometry())
+        assert report.overhead_percent == pytest.approx(3.1, abs=0.1)
+
+    def test_component_arithmetic(self):
+        report = stem_overhead(paper_table3_geometry())
+        components = dict(report.rows())
+        assert components["cc_bits"] == 32768
+        # Shadow entry: 10-bit hash + valid + 4-bit rank = 15 bits/line.
+        assert components["shadow_sets"] == 32768 * 15
+        assert components["saturating_counters"] == 2048 * 8
+        assert components["association_table"] == 2048 * 11
+        assert report.extra_bits == sum(components.values())
+
+    def test_wider_shadow_tags_cost_more(self):
+        geometry = paper_table3_geometry()
+        slim = stem_overhead(geometry, StemConfig(shadow_tag_bits=8))
+        wide = stem_overhead(geometry, StemConfig(shadow_tag_bits=16))
+        assert wide.extra_bits > slim.extra_bits
+
+
+class TestOtherSchemes:
+    def test_dip_is_nearly_free(self):
+        report = dip_overhead(paper_table3_geometry())
+        assert report.extra_bits == 10
+        assert report.overhead_percent < 0.001
+
+    def test_sbc_cheaper_than_stem(self):
+        geometry = paper_table3_geometry()
+        assert (
+            sbc_overhead(geometry).extra_bits
+            < stem_overhead(geometry).extra_bits
+        )
+
+    def test_vway_dominated_by_extra_tags(self):
+        report = vway_overhead(paper_table3_geometry())
+        components = dict(report.rows())
+        assert components["extra_tag_entries"] > components["reuse_counters"]
+        assert report.overhead_percent > 10  # the paper notes V-Way's cost
+
+    def test_pelifo_modest(self):
+        report = pelifo_overhead(paper_table3_geometry())
+        assert 0 < report.overhead_percent < 1.0

@@ -1,0 +1,119 @@
+"""Tests for the ROCS-style page-coloring pollute buffer."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.geometry import CacheGeometry
+from repro.common.errors import ConfigError
+from repro.spatial.page_coloring import PAGE_BLOCKS_BITS, PageColoringCache
+
+
+def make_rocs(num_sets=32, associativity=4, **kwargs):
+    geometry = CacheGeometry(num_sets=num_sets, associativity=associativity)
+    return PageColoringCache(geometry, **kwargs)
+
+
+def page_address(geometry, page, block_in_page=0):
+    block = (page << PAGE_BLOCKS_BITS) | block_in_page
+    return block << geometry.mapper.offset_bits
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            make_rocs(pollute_fraction=0.0)
+        with pytest.raises(ConfigError):
+            make_rocs(epoch_length=0)
+        with pytest.raises(ConfigError):
+            make_rocs(hot_threshold=0.3, cool_threshold=0.5)
+
+    def test_pollute_region_size(self):
+        cache = make_rocs(num_sets=64, pollute_fraction=1 / 16)
+        assert cache.pollute_sets == 4
+
+
+class TestColoring:
+    def test_streaming_pages_get_colored(self):
+        cache = make_rocs(num_sets=32, epoch_length=2000, min_samples=8)
+        geometry = cache.geometry
+        # Stream through many distinct blocks of a few pages: all
+        # misses, so those pages should be re-colored at epoch end.
+        position = 0
+        for _ in range(2100):
+            cache.access(page_address(geometry, page=position // 64,
+                                      block_in_page=position % 64))
+            position += 1
+        # Multiple full pages were touched miss-only.
+        assert cache.recolor_events > 0
+        assert cache.colored_pages > 0
+
+    def test_hot_pages_stay_uncolored(self):
+        cache = make_rocs(num_sets=32, epoch_length=1000, min_samples=8)
+        geometry = cache.geometry
+        addresses = [
+            page_address(geometry, page=0, block_in_page=i) for i in range(4)
+        ]
+        for _ in range(300):
+            for address in addresses:
+                cache.access(address)
+        assert not cache.is_colored(0)
+        assert cache.colored_pages == 0
+
+    def test_colored_page_maps_into_pollute_region(self):
+        cache = make_rocs(num_sets=32, epoch_length=500, min_samples=4)
+        geometry = cache.geometry
+        # Make page 7 miss persistently (touch 64 distinct blocks).
+        for _ in range(10):
+            for block in range(64):
+                cache.access(page_address(geometry, page=7,
+                                          block_in_page=block))
+        if cache.is_colored(7):
+            block = 7 << PAGE_BLOCKS_BITS
+            set_index = cache._set_of(block, 7)
+            assert set_index >= cache._pollute_base
+
+    def test_cooled_page_is_uncolored(self):
+        cache = make_rocs(num_sets=8, associativity=2, epoch_length=500,
+                          min_samples=4, hot_threshold=0.6,
+                          cool_threshold=0.3)
+        geometry = cache.geometry
+        # Phase 1: page 3 loops 64 blocks over 8 tiny sets -> thrash ->
+        # colored at an epoch boundary.
+        for block in range(1200):
+            cache.access(page_address(geometry, page=3,
+                                      block_in_page=block % 64))
+            if cache.is_colored(3):
+                break
+        assert cache.is_colored(3)
+        # Phase 2: page 3 turns hot on 2 blocks -> high hit rate.
+        for _ in range(600):
+            cache.access(page_address(geometry, page=3, block_in_page=0))
+            cache.access(page_address(geometry, page=3, block_in_page=1))
+        assert not cache.is_colored(3)
+        assert cache.uncolor_events >= 1
+
+
+class TestInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        stream=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=5),    # page
+                st.integers(min_value=0, max_value=63),   # block in page
+                st.booleans(),
+            ),
+            min_size=1,
+            max_size=400,
+        )
+    )
+    def test_random_load(self, stream):
+        cache = make_rocs(num_sets=8, associativity=2, epoch_length=64,
+                          min_samples=4)
+        geometry = cache.geometry
+        for page, block, is_write in stream:
+            cache.access(
+                page_address(geometry, page, block), is_write=is_write
+            )
+        cache.check_invariants()
+        stats = cache.stats
+        assert stats.hits + stats.misses == stats.accesses

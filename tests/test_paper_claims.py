@@ -1,0 +1,124 @@
+"""Integration tests for the paper's qualitative claims.
+
+These drive the actual evaluation pipeline at a reduced scale and
+assert the *shape* results the paper reports — who wins, and roughly
+where.  They are the reproduction's acceptance tests.
+"""
+
+import pytest
+
+from repro.experiments import evaluation
+from repro.sim.config import ExperimentScale
+from repro.sim.runner import run_benchmarks
+
+SCALE = ExperimentScale(num_sets=64, associativity=16, trace_length=60_000)
+SCHEMES = ("LRU", "DIP", "PeLIFO", "V-Way", "SBC", "STEM")
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    evaluation.clear_cache()
+    return run_benchmarks(
+        SCHEMES,
+        benchmarks=(
+            "ammp", "apsi", "omnetpp",        # Class I
+            "art", "mcf", "sphinx3",          # Class II
+            "gobmk", "soplex", "vpr",         # Class III
+        ),
+        scale=SCALE,
+    )
+
+
+def normalized(matrix, benchmark, scheme):
+    base = matrix.get(benchmark, "LRU").mpki
+    return matrix.get(benchmark, scheme).mpki / base
+
+
+class TestClassOneClaims:
+    def test_stem_beats_temporal_schemes_on_class_one(self, matrix):
+        # Section 5.2: "STEM is noticeably better than the existing
+        # temporal schemes DIP and PeLIFO" for Class I.
+        for benchmark in ("apsi", "omnetpp"):
+            stem = normalized(matrix, benchmark, "STEM")
+            assert stem < normalized(matrix, benchmark, "DIP")
+            assert stem < normalized(matrix, benchmark, "PeLIFO")
+
+    def test_stem_beats_sbc_on_class_one(self, matrix):
+        # "STEM outperforms SBC" (astar's 0.3% exception aside).
+        for benchmark in ("ammp", "apsi", "omnetpp"):
+            assert normalized(matrix, benchmark, "STEM") < normalized(
+                matrix, benchmark, "SBC"
+            )
+
+
+class TestClassTwoClaims:
+    def test_temporal_schemes_beat_spatial_on_class_two(self, matrix):
+        # "the expected better performance of temporal LLC management
+        # schemes than that of the spatial ones" for Class II.
+        for benchmark in ("mcf", "sphinx3"):
+            dip = normalized(matrix, benchmark, "DIP")
+            assert dip < normalized(matrix, benchmark, "V-Way")
+            assert dip < normalized(matrix, benchmark, "SBC")
+
+    def test_stem_matches_dip_on_class_two(self, matrix):
+        # "STEM performs as well as DIP for the benchmarks of Class II."
+        for benchmark in ("mcf", "sphinx3"):
+            stem = normalized(matrix, benchmark, "STEM")
+            dip = normalized(matrix, benchmark, "DIP")
+            assert stem <= dip * 1.15
+
+    def test_nobody_improves_art(self, matrix):
+        # "none of the schemes improves over LRU for art" at 2 MB.
+        for scheme in ("DIP", "PeLIFO", "V-Way", "STEM"):
+            assert normalized(matrix, "art", scheme) > 0.8
+
+    def test_spatial_schemes_stuck_at_lru_on_uniform_thrash(self, matrix):
+        # Figure 2 Example #3's lesson at benchmark scale.
+        for scheme in ("V-Way", "SBC"):
+            assert normalized(matrix, "mcf", scheme) == pytest.approx(
+                1.0, abs=0.1
+            )
+
+
+class TestClassThreeClaims:
+    def test_stem_never_materially_worse_than_lru(self, matrix):
+        # "STEM either outperforms or performs no worse than LRU."
+        for benchmark in ("gobmk", "soplex", "vpr", "art", "mcf"):
+            assert normalized(matrix, benchmark, "STEM") <= 1.08
+
+    def test_class_three_is_flat_for_stem_and_sbc(self, matrix):
+        for benchmark in ("gobmk", "vpr"):
+            assert normalized(matrix, benchmark, "STEM") == pytest.approx(
+                1.0, abs=0.05
+            )
+            assert normalized(matrix, benchmark, "SBC") == pytest.approx(
+                1.0, abs=0.1
+            )
+
+
+class TestOverallOrdering:
+    def test_stem_has_best_geomean_of_nonspatial(self, matrix):
+        # The headline: STEM's MPKI geomean beats LRU, DIP, PeLIFO and
+        # SBC.  (V-Way is excluded: our synthetic Class I loops flatter
+        # its doubled tag store more than real SPEC does; see
+        # EXPERIMENTS.md for the documented deviation.)
+        table = matrix.normalized_table(lambda r: r.mpki)
+        geomeans = table["Geomean"]
+        for scheme in ("LRU", "DIP", "PeLIFO", "SBC"):
+            assert geomeans["STEM"] <= geomeans[scheme]
+
+    def test_stem_improves_mpki_amat_cpi_over_lru(self, matrix):
+        for metric in (
+            lambda r: r.mpki, lambda r: r.amat, lambda r: r.cpi
+        ):
+            geomeans = matrix.normalized_table(metric)["Geomean"]
+            assert geomeans["STEM"] < 1.0
+
+    def test_amat_ranking_follows_mpki_ranking_for_stem(self, matrix):
+        # Figures 7-9 are consistent: AMAT/CPI gains shrink but the
+        # ordering against LRU persists.
+        mpki_g = matrix.normalized_table(lambda r: r.mpki)["Geomean"]
+        amat_g = matrix.normalized_table(lambda r: r.amat)["Geomean"]
+        cpi_g = matrix.normalized_table(lambda r: r.cpi)["Geomean"]
+        assert mpki_g["STEM"] < 1.0
+        assert mpki_g["STEM"] <= amat_g["STEM"] <= cpi_g["STEM"] <= 1.0

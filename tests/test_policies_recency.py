@@ -1,0 +1,118 @@
+"""Tests for the recency-family policies: LRU, LIP, BIP, FIFO."""
+
+import pytest
+
+from repro.cache.basecache import SetAssociativeCache
+from repro.cache.geometry import CacheGeometry
+from repro.common.errors import ConfigError, SimulationError
+from repro.common.rng import Lfsr
+from repro.policies.bip import BipPolicy
+from repro.policies.lru import FifoPolicy, LipPolicy, LruPolicy
+from repro.workloads.synthetic import bip_cyclic_miss_rate
+
+from tests.conftest import cyclic_addresses
+
+
+def run_policy_on_cyclic(policy, working_set, associativity, length=2000):
+    """Measured steady-state miss rate of one cyclic stream."""
+    geometry = CacheGeometry(num_sets=2, associativity=associativity)
+    cache = SetAssociativeCache(geometry, policy, rng=Lfsr())
+    stream = cyclic_addresses(geometry, 0, working_set, length)
+    warm = length // 2
+    for address in stream[:warm]:
+        cache.access(address)
+    cache.reset_stats()
+    for address in stream[warm:]:
+        cache.access(address)
+    return cache.stats.miss_rate
+
+
+class TestLru:
+    def test_recency_order_tracks_hits(self):
+        policy = LruPolicy()
+        policy.attach(num_sets=1, associativity=3, rng=Lfsr())
+        for way in (0, 1, 2):
+            policy.on_fill(0, way)
+        policy.on_hit(0, 0)
+        assert policy.recency_order(0) == (1, 2, 0)
+        assert policy.victim(0) == 1
+
+    def test_victim_on_empty_ranking_raises(self):
+        policy = LruPolicy()
+        policy.attach(1, 4, Lfsr())
+        with pytest.raises(SimulationError):
+            policy.victim(0)
+
+    def test_invalidate_removes_from_order(self):
+        policy = LruPolicy()
+        policy.attach(1, 2, Lfsr())
+        policy.on_fill(0, 0)
+        policy.on_fill(0, 1)
+        policy.on_invalidate(0, 0)
+        assert policy.recency_order(0) == (1,)
+
+    def test_thrash_on_oversized_loop(self):
+        assert run_policy_on_cyclic(LruPolicy(), 6, 4) == 1.0
+
+    def test_retains_fitting_loop(self):
+        assert run_policy_on_cyclic(LruPolicy(), 4, 4) == 0.0
+
+
+class TestLip:
+    def test_insertion_at_lru_position(self):
+        policy = LipPolicy()
+        policy.attach(1, 3, Lfsr())
+        policy.on_fill(0, 0)
+        policy.on_fill(0, 1)
+        policy.on_fill(0, 2)
+        # Every fill lands at the LRU end, so the first fill is MRU.
+        assert policy.recency_order(0) == (2, 1, 0)
+
+    def test_pins_part_of_oversized_loop(self):
+        # LIP retains ways-1 blocks of a cyclic loop: miss rate
+        # 1 - (a-1)/ws (Qureshi et al.).
+        measured = run_policy_on_cyclic(LipPolicy(), 6, 4)
+        assert measured == pytest.approx(1 - 3 / 6, abs=0.05)
+
+
+class TestBip:
+    def test_throttle_validation(self):
+        with pytest.raises(ConfigError):
+            BipPolicy(throttle_bits=-1)
+
+    def test_cyclic_miss_rate_matches_analytics(self):
+        # The Figure 2 oracle: BIP ~ LIP on loops up to the 1/32 dither.
+        for working_set, ways in ((6, 4), (8, 4), (20, 16)):
+            measured = run_policy_on_cyclic(
+                BipPolicy(), working_set, ways, length=6000
+            )
+            expected = bip_cyclic_miss_rate(working_set, ways)
+            assert measured == pytest.approx(expected, abs=0.08)
+
+    def test_fitting_loop_still_perfect(self):
+        assert run_policy_on_cyclic(BipPolicy(), 3, 4) == 0.0
+
+    def test_mru_insertions_do_happen(self):
+        # With throttle 1/2 the bimodal path must take both branches.
+        policy = BipPolicy(throttle_bits=1)
+        policy.attach(1, 4, Lfsr())
+        positions = set()
+        for way in range(4):
+            policy.on_fill(0, way)
+        for _ in range(64):
+            policy.on_fill(0, policy.victim(0))
+            positions.add(policy.recency_order(0)[-1])
+        assert len(positions) > 1
+
+
+class TestFifo:
+    def test_hits_do_not_promote(self):
+        policy = FifoPolicy()
+        policy.attach(1, 2, Lfsr())
+        policy.on_fill(0, 0)
+        policy.on_fill(0, 1)
+        policy.on_hit(0, 0)
+        assert policy.victim(0) == 0  # still first-in
+
+    def test_fifo_thrashes_loops_like_lru(self):
+        assert run_policy_on_cyclic(FifoPolicy(), 6, 4) == 1.0

@@ -1,0 +1,113 @@
+"""Tests for Random, NRU and SRRIP."""
+
+import pytest
+
+from repro.cache.basecache import SetAssociativeCache
+from repro.cache.geometry import CacheGeometry
+from repro.common.errors import ConfigError
+from repro.common.rng import Lfsr
+from repro.policies.simple import NruPolicy, RandomPolicy, SrripPolicy
+
+from tests.conftest import random_addresses
+
+
+def run_random_stream(policy, num_sets=8, associativity=4, length=600):
+    geometry = CacheGeometry(num_sets=num_sets, associativity=associativity)
+    cache = SetAssociativeCache(geometry, policy, rng=Lfsr())
+    for address in random_addresses(geometry, length, tag_space=16):
+        cache.access(address)
+    cache.check_invariants()
+    return cache
+
+
+class TestRandomPolicy:
+    def test_victims_cover_all_ways(self):
+        policy = RandomPolicy()
+        policy.attach(1, 4, Lfsr())
+        victims = {policy.victim(0) for _ in range(200)}
+        assert victims == {0, 1, 2, 3}
+
+    def test_victims_in_range_for_non_power_of_two(self):
+        policy = RandomPolicy()
+        policy.attach(1, 3, Lfsr())
+        for _ in range(100):
+            assert 0 <= policy.victim(0) < 3
+
+    def test_runs_as_cache_policy(self):
+        cache = run_random_stream(RandomPolicy())
+        assert cache.stats.hits > 0
+
+
+class TestNruPolicy:
+    def test_prefers_unreferenced_way(self):
+        policy = NruPolicy()
+        policy.attach(1, 4, Lfsr())
+        for way in range(4):
+            policy.on_fill(0, way)
+        # Clear the epoch: everyone referenced -> reset, then touch 0, 2.
+        assert policy.victim(0) == 0
+        policy.on_hit(0, 0)
+        policy.on_hit(0, 2)
+        assert policy.victim(0) == 1
+
+    def test_epoch_reset_when_all_referenced(self):
+        policy = NruPolicy()
+        policy.attach(1, 2, Lfsr())
+        policy.on_fill(0, 0)
+        policy.on_fill(0, 1)
+        assert policy.victim(0) == 0  # forced reset picks way 0
+
+    def test_invalidate_clears_bit(self):
+        policy = NruPolicy()
+        policy.attach(1, 2, Lfsr())
+        policy.on_fill(0, 0)
+        policy.on_fill(0, 1)
+        policy.on_invalidate(0, 1)
+        assert policy.victim(0) == 1
+
+    def test_runs_as_cache_policy(self):
+        cache = run_random_stream(NruPolicy())
+        assert cache.stats.hits > 0
+
+
+class TestSrripPolicy:
+    def test_rejects_bad_width(self):
+        with pytest.raises(ConfigError):
+            SrripPolicy(rrpv_bits=0)
+
+    def test_fill_inserts_with_long_rrpv(self):
+        policy = SrripPolicy()
+        policy.attach(1, 2, Lfsr())
+        policy.on_fill(0, 0)
+        assert policy._rrpv[0][0] == policy.max_rrpv - 1
+
+    def test_hit_promotes_to_zero(self):
+        policy = SrripPolicy()
+        policy.attach(1, 2, Lfsr())
+        policy.on_fill(0, 0)
+        policy.on_hit(0, 0)
+        assert policy._rrpv[0][0] == 0
+
+    def test_victim_ages_until_distant_found(self):
+        policy = SrripPolicy()
+        policy.attach(1, 2, Lfsr())
+        policy.on_fill(0, 0)
+        policy.on_fill(0, 1)
+        policy.on_hit(0, 0)
+        policy.on_hit(0, 1)
+        victim = policy.victim(0)
+        assert victim in (0, 1)
+        assert policy._rrpv[0][victim] == policy.max_rrpv
+
+    def test_hit_priority_protects_reused_block(self):
+        policy = SrripPolicy()
+        policy.attach(1, 2, Lfsr())
+        policy.on_fill(0, 0)
+        policy.on_hit(0, 0)
+        policy.on_fill(0, 1)
+        assert policy.victim(0) == 1
+
+    def test_runs_as_cache_policy(self):
+        cache = run_random_stream(SrripPolicy())
+        assert cache.stats.hits > 0
+        assert cache.stats.misses > 0

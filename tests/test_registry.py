@@ -1,0 +1,69 @@
+"""Tests for the policy registry and top-level package surface."""
+
+import pytest
+
+import repro
+from repro.common.errors import ConfigError
+from repro.policies.base import ReplacementPolicy
+from repro.policies.registry import (
+    available_policies,
+    make_policy,
+    register_policy,
+)
+
+
+class TestPolicyRegistry:
+    def test_all_paper_policies_registered(self):
+        names = available_policies()
+        for policy in ("lru", "lip", "bip", "dip", "pelifo", "srrip",
+                       "drrip", "fifo", "random", "nru"):
+            assert policy in names
+
+    def test_make_policy_case_insensitive(self):
+        assert make_policy("LRU").name == "LRU"
+        assert make_policy("PeLiFo").name == "PeLIFO"
+
+    def test_fresh_instances_every_call(self):
+        assert make_policy("lru") is not make_policy("lru")
+
+    def test_unknown_policy(self):
+        with pytest.raises(ConfigError, match="unknown policy"):
+            make_policy("mru")
+
+    def test_register_custom_policy(self):
+        class AlwaysWayZero(ReplacementPolicy):
+            name = "WayZero"
+
+            def on_hit(self, set_index, way):
+                return None
+
+            def victim(self, set_index):
+                return 0
+
+            def on_fill(self, set_index, way):
+                return None
+
+        register_policy("wayzero-test", AlwaysWayZero)
+        try:
+            assert make_policy("wayzero-test").name == "WayZero"
+            with pytest.raises(ConfigError, match="already registered"):
+                register_policy("wayzero-test", AlwaysWayZero)
+        finally:
+            from repro.policies import registry
+            registry._FACTORIES.pop("wayzero-test", None)
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_public_names_importable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_snippet_works(self):
+        geometry = repro.CacheGeometry(num_sets=32, associativity=4)
+        cache = repro.StemCache(geometry)
+        trace = repro.make_benchmark_trace("vpr", num_sets=32, length=4000)
+        result = repro.run_trace(cache, trace)
+        assert result.mpki >= 0

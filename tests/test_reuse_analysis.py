@@ -1,0 +1,92 @@
+"""Tests for the reuse-distance analyses."""
+
+import pytest
+
+from repro.analysis.reuse import (
+    lru_miss_curve,
+    summarize_reuse,
+    working_set_sizes,
+)
+from repro.cache.basecache import SetAssociativeCache
+from repro.cache.geometry import CacheGeometry
+from repro.common.errors import ConfigError
+from repro.policies.lru import LruPolicy
+from repro.workloads.generators import SetGroupSpec, WorkloadSpec, generate_trace
+from repro.workloads.spec_like import make_benchmark_trace
+from repro.workloads.synthetic import interleaved_cyclic_trace
+
+
+def single_kind_trace(kind, ws, num_sets=8, length=4000, **kwargs):
+    spec = WorkloadSpec(
+        name="t",
+        groups=(SetGroupSpec(fraction=1.0, weight=1.0, kind=kind,
+                             ws_min=ws, ws_max=ws, **kwargs),),
+    )
+    return generate_trace(spec, num_sets=num_sets, length=length, seed=3)
+
+
+class TestSummarizeReuse:
+    def test_validation(self):
+        trace = single_kind_trace("cyclic", 4)
+        with pytest.raises(ConfigError):
+            summarize_reuse(trace, num_sets=8, clamp=0)
+
+    def test_streaming_is_all_cold(self):
+        trace = single_kind_trace("streaming", 1)
+        summary = summarize_reuse(trace, num_sets=8)
+        assert summary.cold_fraction > 0.99
+
+    def test_cyclic_distances_cluster_at_ws_minus_one(self):
+        trace = single_kind_trace("cyclic", 6)
+        summary = summarize_reuse(trace, num_sets=8)
+        assert summary.median_distance == 5
+        assert summary.cold_fraction < 0.05
+
+    def test_recency_is_shallow(self):
+        trace = single_kind_trace(
+            "recency", 1, reuse_mean=4.0, new_fraction=0.1
+        )
+        summary = summarize_reuse(trace, num_sets=8)
+        assert summary.median_distance < 8
+        assert summary.distant_fraction < 0.1
+
+
+class TestLruMissCurve:
+    def test_validation(self):
+        trace = single_kind_trace("cyclic", 4)
+        with pytest.raises(ConfigError):
+            lru_miss_curve(trace, num_sets=8, associativities=[])
+        with pytest.raises(ConfigError):
+            lru_miss_curve(trace, num_sets=8, associativities=[128],
+                           clamp=64)
+
+    def test_monotone_nonincreasing(self):
+        trace = make_benchmark_trace("omnetpp", num_sets=32, length=20_000)
+        curve = lru_miss_curve(trace, num_sets=32,
+                               associativities=[2, 4, 8, 16, 32])
+        values = [curve[a] for a in (2, 4, 8, 16, 32)]
+        assert values == sorted(values, reverse=True)
+
+    def test_matches_real_lru_cache(self):
+        trace = interleaved_cyclic_trace((6, 2), rounds=500)
+        curve = lru_miss_curve(trace, num_sets=2, associativities=[4])
+        geometry = CacheGeometry(num_sets=2, associativity=4)
+        cache = SetAssociativeCache(geometry, LruPolicy())
+        misses = sum(
+            0 if cache.access(a).is_hit else 1 for a in trace.addresses
+        )
+        assert curve[4] == pytest.approx(misses / len(trace))
+
+
+class TestWorkingSetSizes:
+    def test_cyclic_sizes_exact(self):
+        trace = interleaved_cyclic_trace((6, 2), rounds=200)
+        sizes = working_set_sizes(trace, num_sets=2)
+        assert sizes == [6, 2]
+
+    def test_streaming_grows_with_length(self):
+        short = single_kind_trace("streaming", 1, length=800)
+        long = single_kind_trace("streaming", 1, length=4000)
+        assert sum(working_set_sizes(long, 8)) > sum(
+            working_set_sizes(short, 8)
+        )

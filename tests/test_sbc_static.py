@@ -1,0 +1,90 @@
+"""Tests for the static (fixed-pairing) Set Balancing Cache."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.access import AccessKind
+from repro.cache.geometry import CacheGeometry
+from repro.common.errors import ConfigError
+from repro.spatial.sbc_static import StaticSbcCache
+
+from tests.conftest import cyclic_addresses
+
+
+def interleave(*streams):
+    return [address for accesses in zip(*streams) for address in accesses]
+
+
+class TestConstruction:
+    def test_needs_two_sets(self):
+        with pytest.raises(ConfigError):
+            StaticSbcCache(CacheGeometry(num_sets=1, associativity=4))
+
+    def test_partner_is_msb_complement(self):
+        cache = StaticSbcCache(CacheGeometry(num_sets=8, associativity=2))
+        assert cache.partner_of(0) == 4
+        assert cache.partner_of(5) == 1
+        assert cache.partner_of(cache.partner_of(3)) == 3
+
+
+class TestBalancing:
+    def test_overflow_spills_into_partner(self):
+        geometry = CacheGeometry(num_sets=2, associativity=4)
+        cache = StaticSbcCache(geometry)
+        thrash = cyclic_addresses(geometry, 0, 6, 2000)
+        quiet = cyclic_addresses(geometry, 1, 2, 2000)
+        stream = interleave(thrash, quiet)
+        for address in stream[:1000]:
+            cache.access(address)
+        cache.reset_stats()
+        for address in stream[1000:]:
+            cache.access(address)
+        assert cache.stats.spills > 0 or cache.stats.cooperative_hits > 0
+        # The Figure 2 Example #1 situation: everything fits pairwise.
+        assert cache.stats.miss_rate < 0.1
+        cache.check_invariants()
+
+    def test_no_spill_when_partner_equally_saturated(self):
+        geometry = CacheGeometry(num_sets=2, associativity=4)
+        cache = StaticSbcCache(geometry)
+        thrash0 = cyclic_addresses(geometry, 0, 16, 1500)
+        thrash1 = cyclic_addresses(geometry, 1, 16, 1500)
+        for address in interleave(thrash0, thrash1):
+            cache.access(address)
+        # Both sides saturate equally: at most transient spills.
+        assert cache.stats.miss_rate > 0.9
+        cache.check_invariants()
+
+    def test_coop_hit_reported_with_double_probe_miss_kind(self):
+        geometry = CacheGeometry(num_sets=2, associativity=4)
+        cache = StaticSbcCache(geometry)
+        thrash = cyclic_addresses(geometry, 0, 6, 2000)
+        quiet = cyclic_addresses(geometry, 1, 2, 2000)
+        kinds = {cache.access(a) for a in interleave(thrash, quiet)}
+        assert AccessKind.COOP_HIT in kinds
+
+
+class TestInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        stream=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=7),
+                st.integers(min_value=0, max_value=23),
+                st.booleans(),
+            ),
+            min_size=1,
+            max_size=400,
+        )
+    )
+    def test_random_load(self, stream):
+        geometry = CacheGeometry(num_sets=8, associativity=4)
+        cache = StaticSbcCache(geometry)
+        for set_index, tag, is_write in stream:
+            cache.access(
+                geometry.mapper.compose(tag, set_index), is_write=is_write
+            )
+        cache.check_invariants()
+        stats = cache.stats
+        assert stats.hits + stats.misses == stats.accesses
+        assert stats.local_hits + stats.cooperative_hits == stats.hits

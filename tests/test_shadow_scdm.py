@@ -1,0 +1,107 @@
+"""Tests for shadow sets and the Set-level Capacity Demand Monitor."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.rng import Lfsr
+from repro.core.scdm import SetMonitor
+from repro.core.shadow import ShadowSet
+
+
+class TestShadowSet:
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ConfigError):
+            ShadowSet(0)
+
+    def test_insert_and_hit_invalidate(self):
+        shadow = ShadowSet(4)
+        shadow.insert(0x3A, at_mru=True)
+        assert 0x3A in shadow
+        assert shadow.lookup_and_invalidate(0x3A)
+        # Exclusivity: a hit removes the entry (Section 4.3).
+        assert 0x3A not in shadow
+        assert not shadow.lookup_and_invalidate(0x3A)
+
+    def test_capacity_bounded_with_lru_eviction(self):
+        shadow = ShadowSet(2)
+        shadow.insert(1, at_mru=True)
+        shadow.insert(2, at_mru=True)
+        shadow.insert(3, at_mru=True)
+        assert len(shadow) == 2
+        assert 1 not in shadow  # LRU entry dropped
+
+    def test_lru_position_insert_is_next_victim(self):
+        # BIP-style shadow insertion: LRU-position entries get replaced
+        # first, filtering a thrashing eviction stream.
+        shadow = ShadowSet(2)
+        shadow.insert(1, at_mru=True)
+        shadow.insert(2, at_mru=False)
+        shadow.insert(3, at_mru=True)
+        assert 2 not in shadow
+        assert 1 in shadow
+
+    def test_duplicate_insert_reranks(self):
+        shadow = ShadowSet(3)
+        shadow.insert(1, at_mru=True)
+        shadow.insert(2, at_mru=True)
+        shadow.insert(1, at_mru=True)
+        assert len(shadow) == 2
+        assert shadow.entries() == (2, 1)
+
+
+class TestSetMonitor:
+    def make_monitor(self, n=3):
+        return SetMonitor(
+            associativity=4, counter_bits=4, spatial_ratio_bits=n
+        )
+
+    def test_shadow_hit_pulses_both_counters(self):
+        monitor = self.make_monitor()
+        monitor.record_victim(0x5, at_mru=True)
+        assert monitor.probe_shadow(0x5)
+        assert monitor.sc_s.value == 1
+        assert monitor.sc_t.value == 1
+
+    def test_shadow_miss_leaves_counters(self):
+        monitor = self.make_monitor()
+        assert not monitor.probe_shadow(0x5)
+        assert monitor.sc_s.value == 0
+        assert monitor.sc_t.value == 0
+
+    def test_local_hit_always_decrements_sc_t(self):
+        monitor = self.make_monitor()
+        monitor.sc_t.reset(5)
+        monitor.record_local_hit(Lfsr())
+        assert monitor.sc_t.value == 4
+
+    def test_local_hit_decrements_sc_s_at_one_in_2n(self):
+        monitor = self.make_monitor(n=3)
+        monitor.sc_s.reset(15)
+        rng = Lfsr(seed=0x1357)
+        for _ in range(800):
+            monitor.record_local_hit(rng)
+        # ~800/8 = 100 decrements, far beyond 15: must have unsaturated.
+        assert monitor.sc_s.value == 0
+
+    def test_taker_and_giver_thresholds(self):
+        monitor = self.make_monitor()
+        assert monitor.is_giver          # MSB of 0 is 0
+        assert not monitor.is_taker
+        monitor.sc_s.reset(8)            # MSB set
+        assert not monitor.is_giver
+        assert not monitor.is_taker
+        monitor.sc_s.reset(15)
+        assert monitor.is_taker
+
+    def test_policy_swap_protocol(self):
+        monitor = self.make_monitor()
+        monitor.sc_t.reset(15)
+        assert monitor.wants_policy_swap
+        monitor.acknowledge_policy_swap()
+        assert monitor.sc_t.value == 0
+        assert not monitor.wants_policy_swap
+
+    def test_saturation_exposed_for_heap_ordering(self):
+        monitor = self.make_monitor()
+        monitor.sc_s.reset(3)
+        assert monitor.saturation == 3

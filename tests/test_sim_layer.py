@@ -1,0 +1,167 @@
+"""Tests for the simulation layer: factory, runner, sweeps, tables."""
+
+import pytest
+
+from repro.cache.basecache import SetAssociativeCache
+from repro.cache.geometry import CacheGeometry
+from repro.common.errors import ConfigError
+from repro.core.stem_cache import StemCache
+from repro.sim.config import (
+    ExperimentScale,
+    available_schemes,
+    canonical_scheme_name,
+    make_scheme,
+)
+from repro.sim.results import ResultMatrix, format_series, format_table
+from repro.sim.runner import associativity_sweep, run_matrix
+from repro.sim.simulator import run_trace
+from repro.spatial.sbc import SbcCache
+from repro.spatial.vway import VwayCache
+from repro.workloads.spec_like import make_benchmark_trace
+from repro.workloads.synthetic import interleaved_cyclic_trace
+
+
+class TestSchemeFactory:
+    def test_all_paper_schemes_buildable(self):
+        geometry = CacheGeometry(num_sets=8, associativity=4)
+        for name, cls in (
+            ("LRU", SetAssociativeCache),
+            ("DIP", SetAssociativeCache),
+            ("PeLIFO", SetAssociativeCache),
+            ("V-Way", VwayCache),
+            ("SBC", SbcCache),
+            ("STEM", StemCache),
+        ):
+            cache = make_scheme(name, geometry)
+            assert isinstance(cache, cls)
+            assert cache.name == canonical_scheme_name(name)
+
+    def test_unknown_scheme_rejected(self):
+        geometry = CacheGeometry(num_sets=8, associativity=4)
+        with pytest.raises(ConfigError, match="unknown scheme"):
+            make_scheme("MRU", geometry)
+        with pytest.raises(ConfigError):
+            canonical_scheme_name("MRU")
+
+    def test_available_schemes_contains_the_paper_six(self):
+        names = available_schemes()
+        for scheme in ("LRU", "DIP", "PeLIFO", "V-Way", "SBC", "STEM"):
+            assert scheme in names
+
+    def test_case_insensitive(self):
+        geometry = CacheGeometry(num_sets=8, associativity=4)
+        assert make_scheme("stem", geometry).name == "STEM"
+        assert make_scheme("vway", geometry).name == "V-Way"
+
+
+class TestExperimentScale:
+    def test_paper_scale_matches_table1(self):
+        scale = ExperimentScale.paper()
+        geometry = scale.geometry()
+        assert geometry.capacity_bytes == 2 * 1024 * 1024
+        assert geometry.associativity == 16
+
+    def test_geometry_override(self):
+        scale = ExperimentScale.smoke()
+        assert scale.geometry(associativity=2).associativity == 2
+
+    def test_warmup_validation(self):
+        with pytest.raises(ConfigError):
+            ExperimentScale(warmup_fraction=1.0)
+
+
+class TestRunTrace:
+    def test_warmup_excluded_from_stats(self):
+        trace = interleaved_cyclic_trace((2, 2), rounds=100)
+        cache = make_scheme("LRU", CacheGeometry(num_sets=2, associativity=4))
+        result = run_trace(cache, trace, warmup_fraction=0.5)
+        assert result.measured_accesses == len(trace) // 2
+        assert result.stats.misses == 0  # cold misses fell in warm-up
+
+    def test_instructions_prorated(self):
+        trace = make_benchmark_trace("vpr", num_sets=32, length=1000)
+        cache = make_scheme("LRU", CacheGeometry(num_sets=32, associativity=4))
+        result = run_trace(cache, trace, warmup_fraction=0.25)
+        assert result.measured_instructions == pytest.approx(
+            trace.metadata.instructions * 0.75, rel=0.01
+        )
+
+    def test_rejects_empty_trace(self):
+        from repro.workloads.trace import Trace, TraceMetadata
+
+        empty = Trace(TraceMetadata(name="e", instructions=1), [])
+        cache = make_scheme("LRU", CacheGeometry(num_sets=2, associativity=2))
+        with pytest.raises(ConfigError):
+            run_trace(cache, empty)
+
+    def test_metrics_populated(self):
+        trace = make_benchmark_trace("vpr", num_sets=32, length=2000)
+        cache = make_scheme("STEM", CacheGeometry(num_sets=32, associativity=4))
+        result = run_trace(cache, trace)
+        assert result.mpki >= 0
+        assert result.amat >= 14
+        assert result.cpi > 0
+
+
+class TestRunnerAndMatrix:
+    def test_run_matrix_covers_grid(self):
+        scale = ExperimentScale(num_sets=32, trace_length=3000)
+        traces = [
+            make_benchmark_trace("vpr", num_sets=32, length=3000),
+            make_benchmark_trace("mcf", num_sets=32, length=3000),
+        ]
+        matrix = run_matrix(traces, ("LRU", "STEM"), scale=scale)
+        assert set(matrix.workloads) == {"vpr", "mcf"}
+        assert set(matrix.schemes) == {"LRU", "STEM"}
+        assert matrix.get("vpr", "LRU").scheme == "LRU"
+
+    def test_matrix_missing_cell_raises(self):
+        matrix = ResultMatrix()
+        with pytest.raises(ConfigError):
+            matrix.get("vpr", "LRU")
+
+    def test_normalized_table_baseline_is_one(self):
+        scale = ExperimentScale(num_sets=32, trace_length=3000)
+        traces = [make_benchmark_trace("mcf", num_sets=32, length=3000)]
+        matrix = run_matrix(traces, ("LRU", "DIP"), scale=scale)
+        table = matrix.normalized_table(lambda r: r.mpki)
+        assert table["mcf"]["LRU"] == pytest.approx(1.0)
+        assert "Geomean" in table
+
+    def test_associativity_sweep_returns_curves(self):
+        scale = ExperimentScale(num_sets=32, trace_length=2000)
+        trace = make_benchmark_trace("vpr", num_sets=32, length=2000)
+        curves = associativity_sweep(
+            trace, ("LRU", "STEM"), (2, 4), scale=scale
+        )
+        assert len(curves["LRU"]) == 2
+        assert len(curves["STEM"]) == 2
+
+    def test_lru_sweep_monotone_in_capacity(self):
+        # More ways never hurt LRU on a fixed trace.
+        scale = ExperimentScale(num_sets=32, trace_length=6000)
+        trace = make_benchmark_trace("omnetpp", num_sets=32, length=6000)
+        curves = associativity_sweep(trace, ("LRU",), (2, 8, 32), scale=scale)
+        mpkis = [r.mpki for r in curves["LRU"]]
+        assert mpkis[0] >= mpkis[1] >= mpkis[2]
+
+
+class TestFormatting:
+    def test_format_table_alignment_and_missing(self):
+        text = format_table(
+            {"row": {"A": 1.0}}, columns=["A", "B"], title="T"
+        )
+        assert "T" in text
+        assert "1.000" in text
+        assert "-" in text
+
+    def test_format_series_validates_lengths(self):
+        with pytest.raises(ConfigError):
+            format_series({"s": [1.0]}, x_values=[1, 2])
+
+    def test_format_series_renders(self):
+        text = format_series(
+            {"LRU": [1.0, 2.0]}, x_values=[4, 8], x_label="assoc"
+        )
+        assert "LRU" in text
+        assert "assoc" in text

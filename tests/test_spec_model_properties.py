@@ -1,0 +1,105 @@
+"""Per-benchmark structural properties of the 15 SPEC-like models.
+
+Each modelled benchmark encodes specific set-level statistics taken
+from the paper (DESIGN.md §4).  These tests pin those statistics down
+so future retuning cannot silently change a benchmark's character.
+"""
+
+import pytest
+
+from repro.analysis.reuse import summarize_reuse, working_set_sizes
+from repro.workloads.spec_like import (
+    BENCHMARKS,
+    benchmark_names,
+    make_benchmark_trace,
+)
+
+NUM_SETS = 64
+LENGTH = 40_000
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return {
+        name: make_benchmark_trace(name, num_sets=NUM_SETS, length=LENGTH)
+        for name in benchmark_names()
+    }
+
+
+class TestUniversalProperties:
+    @pytest.mark.parametrize("name", benchmark_names())
+    def test_every_set_receives_accesses(self, traces, name):
+        sizes = working_set_sizes(traces[name], NUM_SETS)
+        populated = sum(1 for size in sizes if size > 0)
+        assert populated >= NUM_SETS * 0.95
+
+    @pytest.mark.parametrize("name", benchmark_names())
+    def test_metadata_matches_registry(self, traces, name):
+        trace = traces[name]
+        spec = BENCHMARKS[name]
+        assert trace.metadata.spec_class == spec.spec_class
+        assert trace.accesses_per_kilo_instruction == pytest.approx(
+            spec.accesses_per_kilo_instruction, rel=0.01
+        )
+
+
+class TestClassOneShapes:
+    def test_omnetpp_working_sets_span_figure1_range(self, traces):
+        sizes = working_set_sizes(traces["omnetpp"], NUM_SETS)
+        assert min(sizes) <= 10
+        assert max(sizes) >= 25
+
+    def test_ammp_has_streaming_and_tiny_sets(self, traces):
+        sizes = working_set_sizes(traces["ammp"], NUM_SETS)
+        tiny = sum(1 for size in sizes if size <= 4)
+        huge = sum(1 for size in sizes if size > 100)  # streaming sets
+        assert tiny >= NUM_SETS * 0.2
+        assert huge >= NUM_SETS * 0.05
+
+    def test_apsi_is_bimodal(self, traces):
+        sizes = sorted(working_set_sizes(traces["apsi"], NUM_SETS))
+        low_half = sizes[: NUM_SETS // 2]
+        high_half = sizes[NUM_SETS // 2:]
+        assert max(low_half) <= 10
+        assert min(high_half) >= 10
+
+
+class TestClassTwoShapes:
+    @pytest.mark.parametrize("name", ["mcf", "sphinx3", "cactusADM"])
+    def test_loops_exceed_pairing_reach(self, traces, name):
+        # The dominant loops must exceed 2x the 16-way associativity so
+        # pairwise cooperation cannot retain them (Example #3's regime).
+        sizes = working_set_sizes(traces[name], NUM_SETS)
+        big = sum(1 for size in sizes if size > 32)
+        assert big >= NUM_SETS * 0.25
+
+    def test_mcf_has_poor_locality(self, traces):
+        summary = summarize_reuse(traces["mcf"], NUM_SETS)
+        assert summary.distant_fraction > 0.5 or summary.median_distance > 16
+
+    def test_art_fits_at_full_capacity(self, traces):
+        # art's reused blocks sit well within 16 ways; only compulsory
+        # (cold) misses remain, so no scheme can improve it.
+        summary = summarize_reuse(traces["art"], NUM_SETS, clamp=32)
+        assert summary.cold_fraction > 0.2
+        assert summary.median_distance < 16
+
+
+class TestClassThreeShapes:
+    @pytest.mark.parametrize("name", ["gobmk", "gromacs", "twolf", "vpr"])
+    def test_good_locality(self, traces, name):
+        summary = summarize_reuse(traces[name], NUM_SETS, clamp=32)
+        assert summary.median_distance < 16
+        assert summary.distant_fraction < 0.25
+
+    def test_soplex_is_compulsory_dominated(self, traces):
+        summary = summarize_reuse(traces["soplex"], NUM_SETS)
+        assert summary.cold_fraction > 0.3
+
+    @pytest.mark.parametrize("name", ["gobmk", "gromacs"])
+    def test_uniform_demand(self, traces, name):
+        # Class III sets look alike: working-set sizes cluster tightly
+        # around the population median (streaming tails excluded).
+        sizes = sorted(working_set_sizes(traces[name], NUM_SETS))
+        trimmed = sizes[NUM_SETS // 8: -NUM_SETS // 8]
+        assert max(trimmed) <= 3 * max(1, min(trimmed))

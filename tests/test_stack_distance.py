@@ -1,0 +1,98 @@
+"""Tests for stack-distance profiling, cross-checked against real LRU."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.stack_distance import (
+    COLD,
+    StackDistanceProfiler,
+    distances,
+    histogram,
+    lru_hits_at,
+)
+from repro.cache.basecache import SetAssociativeCache
+from repro.cache.geometry import CacheGeometry
+from repro.common.errors import ConfigError
+from repro.policies.lru import LruPolicy
+
+
+class TestProfiler:
+    def test_first_reference_is_cold(self):
+        profiler = StackDistanceProfiler()
+        assert profiler.record(1) == COLD
+
+    def test_immediate_rereference_distance_zero(self):
+        profiler = StackDistanceProfiler()
+        profiler.record(1)
+        assert profiler.record(1) == 0
+
+    def test_classic_sequence(self):
+        # a b c a -> a's distance is 2 (b and c intervened).
+        assert distances(["a", "b", "c", "a"]) == [COLD, COLD, COLD, 2]
+
+    def test_depth_tracks_distinct_blocks(self):
+        profiler = StackDistanceProfiler()
+        for block in (1, 2, 3, 2):
+            profiler.record(block)
+        assert profiler.depth == 3
+
+    def test_bounded_depth_reports_lower_bound(self):
+        profiler = StackDistanceProfiler(max_depth=2)
+        profiler.record(1)
+        profiler.record(2)
+        profiler.record(3)  # pushes 1 off the stack
+        assert profiler.record(1) == 2  # reported as >= max_depth
+
+    def test_rejects_bad_depth(self):
+        with pytest.raises(ConfigError):
+            StackDistanceProfiler(max_depth=0)
+
+
+class TestHistogram:
+    def test_clamp_collapses_tail(self):
+        stream = [1, 2, 3, 4, 1]  # distance of final access: 3
+        counts = histogram(stream, clamp=2)
+        assert counts[COLD] == 4
+        assert counts[2] == 1
+
+    def test_lru_hits_at_counts_below_threshold(self):
+        counts = {COLD: 5, 0: 3, 1: 2, 4: 7}
+        assert lru_hits_at(counts, 2) == 5
+        assert lru_hits_at(counts, 5) == 12
+        assert lru_hits_at(counts, 0) == 0
+        with pytest.raises(ConfigError):
+            lru_hits_at(counts, -1)
+
+
+class TestAgainstRealLru:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        stream=st.lists(
+            st.integers(min_value=0, max_value=20), min_size=1, max_size=300
+        ),
+        ways=st.integers(min_value=1, max_value=8),
+    )
+    def test_hits_match_lru_cache(self, stream, ways):
+        # The Mattson property: LRU hits at associativity `a` equal the
+        # number of accesses at stack distance < a.
+        geometry = CacheGeometry(num_sets=1, associativity=ways)
+        cache = SetAssociativeCache(geometry, LruPolicy())
+        cache_hits = sum(
+            1
+            for tag in stream
+            if cache.access(geometry.mapper.compose(tag, 0)).is_hit
+        )
+        counts = histogram(stream, max_depth=64)
+        assert lru_hits_at(counts, ways) == cache_hits
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        stream=st.lists(
+            st.integers(min_value=0, max_value=15), min_size=1, max_size=200
+        )
+    )
+    def test_inclusion_property(self, stream):
+        # More ways never hurt LRU: hits(a) is monotone in a.
+        counts = histogram(stream, max_depth=64)
+        hits = [lru_hits_at(counts, a) for a in range(0, 20)]
+        assert hits == sorted(hits)

@@ -1,0 +1,150 @@
+"""Tests for the Figure 2 synthetics and the SPEC-like benchmark models."""
+
+import pytest
+
+from repro.common.addressing import AddressMapper
+from repro.common.errors import ConfigError
+from repro.workloads.mixes import concatenate_traces, phased_trace
+from repro.workloads.spec_like import (
+    BENCHMARKS,
+    benchmark_names,
+    make_benchmark_trace,
+)
+from repro.workloads.synthetic import (
+    FIGURE2_WORKING_SETS,
+    bip_cyclic_miss_rate,
+    figure2_expected_miss_rates,
+    figure2_trace,
+    interleaved_cyclic_trace,
+    lru_cyclic_miss_rate,
+)
+
+
+class TestInterleavedCyclic:
+    def test_strict_alternation(self):
+        trace = interleaved_cyclic_trace((6, 2), rounds=4)
+        mapper = AddressMapper(num_sets=2, line_size=64)
+        sets = [mapper.set_index(a) for a in trace.addresses]
+        assert sets == [0, 1] * 4
+
+    def test_reference_stream_matches_paper_example1(self):
+        # A -> a -> B -> b -> C -> a -> D -> b ...
+        trace = interleaved_cyclic_trace((6, 2), rounds=4)
+        mapper = AddressMapper(num_sets=2, line_size=64)
+        tags = [mapper.tag(a) for a in trace.addresses]
+        assert tags == [0, 0, 1, 1, 2, 0, 3, 1]
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            interleaved_cyclic_trace((1, 2, 3), rounds=5, num_sets=2)
+        with pytest.raises(ConfigError):
+            interleaved_cyclic_trace((1,), rounds=0)
+
+    def test_figure2_trace_names_and_sizes(self):
+        for example, sizes in FIGURE2_WORKING_SETS.items():
+            trace = figure2_trace(example, rounds=8)
+            assert len(trace) == 8 * len(sizes)
+        with pytest.raises(ConfigError):
+            figure2_trace(4)
+
+
+class TestAnalyticMissRates:
+    def test_lru_oracle(self):
+        assert lru_cyclic_miss_rate(6, 4) == 1.0
+        assert lru_cyclic_miss_rate(4, 4) == 0.0
+        with pytest.raises(ConfigError):
+            lru_cyclic_miss_rate(0, 4)
+
+    def test_bip_oracle(self):
+        assert bip_cyclic_miss_rate(6, 4) == pytest.approx(0.5)
+        assert bip_cyclic_miss_rate(5, 4) == pytest.approx(0.4)
+        assert bip_cyclic_miss_rate(3, 4) == 0.0
+
+    def test_paper_table_values(self):
+        ex1 = figure2_expected_miss_rates(1)
+        assert ex1 == {
+            "LRU": 0.5, "DIP": 0.25, "SBC": 0.0,
+        }
+        ex2 = figure2_expected_miss_rates(2)
+        assert ex2["LRU"] == 0.5
+        assert ex2["DIP"] == pytest.approx(0.25)
+        assert ex2["SBC"] == pytest.approx(1 / 3)
+        ex3 = figure2_expected_miss_rates(3)
+        assert ex3["LRU"] == 1.0
+        assert ex3["DIP"] == pytest.approx(1 / 4 + 1 / 5)
+        assert ex3["SBC"] == 1.0
+
+
+class TestBenchmarkRegistry:
+    def test_fifteen_benchmarks_in_paper_order(self):
+        names = benchmark_names()
+        assert len(names) == 15
+        assert names[0] == "ammp"
+        assert names[-1] == "vpr"
+
+    def test_five_per_class(self):
+        for spec_class in ("I", "II", "III"):
+            assert len(benchmark_names(spec_class)) == 5
+
+    def test_every_benchmark_has_valid_workload(self):
+        for name in benchmark_names():
+            workload = BENCHMARKS[name].workload()
+            assert workload.spec_class in ("I", "II", "III")
+            assert abs(sum(g.fraction for g in workload.groups) - 1.0) < 1e-6
+
+    def test_make_trace_rejects_unknown_name(self):
+        with pytest.raises(ConfigError, match="unknown benchmark"):
+            make_benchmark_trace("firefox")
+
+    def test_trace_generation_smoke(self):
+        trace = make_benchmark_trace("ammp", num_sets=32, length=2000)
+        assert len(trace) == 2000
+        assert trace.metadata.spec_class == "I"
+
+    def test_seed_offset_varies_trace(self):
+        a = make_benchmark_trace("vpr", num_sets=32, length=500)
+        b = make_benchmark_trace("vpr", num_sets=32, length=500,
+                                 seed_offset=1)
+        assert a.addresses != b.addresses
+
+    def test_table2_mpki_targets_recorded(self):
+        assert BENCHMARKS["mcf"].paper_mpki_lru == pytest.approx(59.993)
+        assert BENCHMARKS["gromacs"].paper_mpki_lru == pytest.approx(1.099)
+
+
+class TestMixes:
+    def test_concatenate_sums_lengths_and_instructions(self):
+        a = make_benchmark_trace("vpr", num_sets=32, length=300)
+        b = make_benchmark_trace("mcf", num_sets=32, length=200)
+        joined = concatenate_traces([a, b], name="vpr+mcf")
+        assert len(joined) == 500
+        assert joined.metadata.instructions == (
+            a.metadata.instructions + b.metadata.instructions
+        )
+
+    def test_concatenate_requires_matching_geometry(self):
+        a = make_benchmark_trace("vpr", num_sets=32, length=100)
+        bad = make_benchmark_trace("vpr", num_sets=32, length=100)
+        object.__setattr__(bad.metadata, "line_size", 128)
+        with pytest.raises(Exception):
+            concatenate_traces([a, bad])
+
+    def test_concatenate_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            concatenate_traces([])
+
+    def test_phased_trace_changes_behaviour_between_phases(self):
+        phases = [
+            BENCHMARKS["vpr"].workload(),
+            BENCHMARKS["mcf"].workload(),
+        ]
+        trace = phased_trace(phases, phase_length=400, num_sets=32)
+        assert len(trace) == 800
+        mapper = AddressMapper(num_sets=32, line_size=64)
+        first = {mapper.split(a) for a in trace.addresses[:400]}
+        second = {mapper.split(a) for a in trace.addresses[400:]}
+        assert first != second
+
+    def test_phased_trace_validation(self):
+        with pytest.raises(ConfigError):
+            phased_trace([BENCHMARKS["vpr"].workload()], 0, num_sets=32)

@@ -1,0 +1,90 @@
+"""Tests for trace containers and persistence."""
+
+import pytest
+
+from repro.common.errors import TraceError
+from repro.workloads.trace import Trace, TraceMetadata
+
+
+def make_trace(n=10, writes=False, name="t"):
+    metadata = TraceMetadata(name=name, instructions=n * 50)
+    addresses = [i * 64 for i in range(n)]
+    write_mask = [i % 3 == 0 for i in range(n)] if writes else None
+    return Trace(metadata, addresses, write_mask)
+
+
+class TestTraceBasics:
+    def test_len_and_iter(self):
+        trace = make_trace(5)
+        assert len(trace) == 5
+        assert list(trace) == [0, 64, 128, 192, 256]
+
+    def test_apki(self):
+        trace = make_trace(10)  # 10 accesses / 500 instructions
+        assert trace.accesses_per_kilo_instruction == pytest.approx(20.0)
+
+    def test_metadata_validation(self):
+        with pytest.raises(TraceError):
+            TraceMetadata(name="bad", instructions=0)
+
+    def test_writes_length_checked(self):
+        metadata = TraceMetadata(name="t", instructions=10)
+        with pytest.raises(TraceError):
+            Trace(metadata, [0, 64], [True])
+
+
+class TestSlicing:
+    def test_slice_bounds(self):
+        trace = make_trace(10)
+        with pytest.raises(TraceError):
+            trace.slice(5, 3)
+        with pytest.raises(TraceError):
+            trace.slice(0, 11)
+
+    def test_slice_prorates_instructions(self):
+        trace = make_trace(10)
+        half = trace.slice(0, 5)
+        assert len(half) == 5
+        assert half.metadata.instructions == 250
+        # MPKI denominators stay comparable: APKI is preserved.
+        assert half.accesses_per_kilo_instruction == pytest.approx(
+            trace.accesses_per_kilo_instruction
+        )
+
+    def test_slice_carries_writes(self):
+        trace = make_trace(9, writes=True)
+        part = trace.slice(3, 6)
+        assert part.writes == trace.writes[3:6]
+
+
+class TestPersistence:
+    def test_roundtrip_without_writes(self, tmp_path):
+        trace = make_trace(20)
+        path = tmp_path / "plain.trace"
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert loaded.addresses == trace.addresses
+        assert loaded.writes is None
+        assert loaded.metadata.name == trace.metadata.name
+        assert loaded.metadata.instructions == trace.metadata.instructions
+
+    def test_roundtrip_with_writes(self, tmp_path):
+        trace = make_trace(20, writes=True)
+        path = tmp_path / "writes.trace"
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert loaded.writes == trace.writes
+
+    def test_malformed_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("not json\n1000\n")
+        with pytest.raises(TraceError, match="header"):
+            Trace.load(path)
+
+    def test_malformed_address_rejected(self, tmp_path):
+        path = tmp_path / "bad2.trace"
+        path.write_text(
+            '{"name": "x", "instructions": 10}\nzz\n'
+        )
+        with pytest.raises(TraceError, match="bad address"):
+            Trace.load(path)

@@ -1,0 +1,76 @@
+"""Tests for the traffic and hierarchy-mode extension experiments."""
+
+import pytest
+
+from repro.experiments import hierarchy_mode, traffic
+from repro.sim.config import ExperimentScale
+
+SMALL = ExperimentScale(num_sets=32, associativity=16, trace_length=12_000)
+
+
+class TestTraffic:
+    def test_traffic_structure(self):
+        result = traffic.run(
+            benchmarks=("vpr",), schemes=("LRU", "STEM"), scale=SMALL
+        )
+        assert result.benchmarks == ["vpr"]
+        assert set(result.fetches_pki["vpr"]) == {"LRU", "STEM"}
+        assert result.total_pki("vpr", "LRU") >= 0
+
+    def test_writebacks_appear_with_writes(self):
+        result = traffic.run(
+            benchmarks=("mcf",), schemes=("LRU",), scale=SMALL,
+            write_fraction=0.5,
+        )
+        assert result.writebacks_pki["mcf"]["LRU"] > 0
+
+    def test_no_writebacks_without_writes(self):
+        result = traffic.run(
+            benchmarks=("mcf",), schemes=("LRU",), scale=SMALL,
+            write_fraction=0.0,
+        )
+        assert result.writebacks_pki["mcf"]["LRU"] == 0.0
+
+    def test_stem_cuts_traffic_on_class_one(self):
+        result = traffic.run(
+            benchmarks=("omnetpp",), schemes=("LRU", "STEM"),
+            scale=ExperimentScale(num_sets=64, trace_length=30_000),
+        )
+        assert result.total_pki("omnetpp", "STEM") < result.total_pki(
+            "omnetpp", "LRU"
+        )
+
+    def test_main_renders(self, capsys):
+        traffic.main(scale=SMALL, benchmarks=("vpr",))
+        assert "Off-chip traffic" in capsys.readouterr().out
+
+
+class TestHierarchyMode:
+    def test_structure_and_l1_filtering(self):
+        result = hierarchy_mode.run(
+            "vpr", schemes=("LRU", "STEM"), scale=SMALL
+        )
+        assert 0.0 < result.l1_miss_rate <= 1.0
+        assert set(result.llc_miss_rate) == {"LRU", "STEM"}
+        assert all(amat > 0 for amat in result.amat_cycles.values())
+
+    def test_stem_advantage_survives_l1(self):
+        result = hierarchy_mode.run(
+            "omnetpp",
+            schemes=("LRU", "STEM"),
+            scale=ExperimentScale(num_sets=64, trace_length=30_000),
+        )
+        assert result.amat_cycles["STEM"] < result.amat_cycles["LRU"]
+
+    def test_amat_tracks_llc_miss_rate(self):
+        result = hierarchy_mode.run(
+            "mcf", schemes=("LRU", "DIP"), scale=SMALL
+        )
+        better = min(result.llc_miss_rate, key=result.llc_miss_rate.get)
+        worse = max(result.llc_miss_rate, key=result.llc_miss_rate.get)
+        if result.llc_miss_rate[better] < result.llc_miss_rate[worse]:
+            assert result.amat_cycles[better] <= result.amat_cycles[worse]
+
+    def test_main_renders(self, capsys):
+        hierarchy_mode.main(scale=SMALL)
+        assert "Hierarchy mode" in capsys.readouterr().out

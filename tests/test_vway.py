@@ -1,0 +1,134 @@
+"""Tests for the V-Way cache."""
+
+import pytest
+
+from repro.cache.access import AccessKind
+from repro.cache.geometry import CacheGeometry
+from repro.common.errors import ConfigError
+from repro.spatial.vway import VwayCache
+
+from tests.conftest import cyclic_addresses, random_addresses
+
+
+def make_vway(num_sets=8, associativity=4, **kwargs):
+    geometry = CacheGeometry(num_sets=num_sets, associativity=associativity)
+    return VwayCache(geometry, **kwargs)
+
+
+def interleave(*streams):
+    return [address for accesses in zip(*streams) for address in accesses]
+
+
+class TestConstruction:
+    def test_tag_ratio_validation(self):
+        with pytest.raises(ConfigError):
+            make_vway(tag_ratio=1)
+
+    def test_reuse_bits_validation(self):
+        with pytest.raises(ConfigError):
+            make_vway(reuse_bits=0)
+
+    def test_tag_entries_doubled(self):
+        cache = make_vway(num_sets=8, associativity=4)
+        assert cache.entries_per_set == 8
+
+
+class TestDemandBasedAssociativity:
+    def test_hot_set_grows_beyond_nominal_associativity(self):
+        # The defining V-Way behaviour: a set can own more data lines
+        # than its nominal ways when others underuse theirs.
+        geometry = CacheGeometry(num_sets=4, associativity=4)
+        cache = VwayCache(geometry)
+        hot = cyclic_addresses(geometry, 0, 7, 2100)  # ws 7 > 4 ways
+        cold = cyclic_addresses(geometry, 1, 2, 2100)
+        for address in interleave(hot, cold):
+            cache.access(address)
+        assert cache.lines_owned_by(0) == 7
+        cache.check_invariants()
+
+    def test_retained_loop_stops_missing(self):
+        geometry = CacheGeometry(num_sets=4, associativity=4)
+        cache = VwayCache(geometry)
+        hot = cyclic_addresses(geometry, 0, 7, 4000)
+        cold = cyclic_addresses(geometry, 1, 2, 4000)
+        stream = interleave(hot, cold)
+        for address in stream[: len(stream) // 2]:
+            cache.access(address)
+        cache.reset_stats()
+        for address in stream[len(stream) // 2:]:
+            cache.access(address)
+        assert cache.stats.miss_rate < 0.05
+
+    def test_tag_limit_bounds_growth(self):
+        # A working set beyond 2x the associativity cannot be retained.
+        geometry = CacheGeometry(num_sets=4, associativity=4)
+        cache = VwayCache(geometry)
+        for address in cyclic_addresses(geometry, 0, 20, 4000):
+            cache.access(address)
+        assert cache.lines_owned_by(0) <= 8
+
+
+class TestReuseReplacement:
+    def test_reuse_counter_saturates(self):
+        cache = make_vway()
+        address = 0x4000
+        cache.access(address)
+        for _ in range(10):
+            cache.access(address)
+        entry = cache._tag_to_entry[cache.mapper.set_index(address)][
+            cache.mapper.tag(address)
+        ]
+        line = cache._entry_line[entry]
+        assert cache._line_reuse[line] == cache.max_reuse
+
+    def test_global_replacement_prefers_unreused_lines(self):
+        geometry = CacheGeometry(num_sets=2, associativity=2)
+        cache = VwayCache(geometry)
+        # Fill the four global lines: two reused, two untouched.
+        hot = [geometry.mapper.compose(t, 0) for t in (1, 2)]
+        cold = [geometry.mapper.compose(t, 1) for t in (3, 4)]
+        for address in hot + cold:
+            cache.access(address)
+        for address in hot * 3:
+            cache.access(address)
+        # A new allocation in set 1 must claim a cold line, not a hot one.
+        cache.access(geometry.mapper.compose(9, 1))
+        for address in hot:
+            assert cache.access(address) == AccessKind.LOCAL_HIT
+
+    def test_dirty_global_victim_writes_back(self):
+        geometry = CacheGeometry(num_sets=2, associativity=1)
+        cache = VwayCache(geometry)
+        cache.access(geometry.mapper.compose(1, 0), is_write=True)
+        cache.access(geometry.mapper.compose(2, 1))
+        # Force a global replacement by exhausting the free lines and
+        # both tag sets' spare entries.
+        for tag in (3, 4, 5):
+            cache.access(geometry.mapper.compose(tag, 0))
+        assert cache.stats.writebacks >= 1
+
+
+class TestAccounting:
+    def test_stats_partition(self):
+        cache = make_vway(num_sets=16, associativity=4)
+        for address in random_addresses(cache.geometry, 3000, tag_space=64):
+            cache.access(address)
+        stats = cache.stats
+        assert stats.hits + stats.misses == stats.accesses
+        assert stats.misses_single_probe == stats.misses
+        assert stats.cooperative_hits == 0
+        cache.check_invariants()
+
+    def test_resident_block_views(self):
+        cache = make_vway(num_sets=4, associativity=2)
+        cache.access(cache.geometry.mapper.compose(5, 2), is_write=True)
+        views = cache.resident_blocks(2)
+        assert len(views) == 1
+        assert views[0].tag == 5
+        assert views[0].dirty
+
+    def test_reset_stats(self):
+        cache = make_vway()
+        cache.access(0x0)
+        cache.reset_stats()
+        assert cache.stats.accesses == 0
