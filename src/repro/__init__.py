@@ -14,7 +14,9 @@ The package builds the paper's whole experimental stack in pure Python:
 * :mod:`repro.analysis` / :mod:`repro.timing` — capacity-demand
   profiling, MPKI/AMAT/CPI models, hardware overhead accounting;
 * :mod:`repro.sim` / :mod:`repro.experiments` — the runner and one
-  module per paper figure/table.
+  module per paper figure/table;
+* :mod:`repro.obs` — observability: typed event tracing, run
+  manifests/provenance, and hot-loop profiling.
 
 Quickstart::
 
@@ -34,6 +36,18 @@ from repro.cache import (
     SetAssociativeCache,
 )
 from repro.core import StemCache, StemConfig
+from repro.obs import (
+    JsonlSink,
+    NULL_TRACER,
+    RingBufferSink,
+    RunManifest,
+    RunProfiler,
+    TraceEvent,
+    Tracer,
+    build_manifest,
+    load_events,
+    summarize_events,
+)
 from repro.policies import available_policies, make_policy
 from repro.sim import (
     ExperimentScale,
@@ -52,30 +66,40 @@ from repro.workloads import (
     make_benchmark_trace,
 )
 
-__version__ = "1.0.0"
+from repro._version import __version__
 
 __all__ = [
     "AccessKind",
     "CacheGeometry",
     "CacheHierarchy",
     "ExperimentScale",
+    "JsonlSink",
     "MainMemory",
+    "NULL_TRACER",
     "PAPER_SCHEMES",
+    "RingBufferSink",
+    "RunManifest",
+    "RunProfiler",
     "SbcCache",
     "SetAssociativeCache",
     "StemCache",
     "StemConfig",
     "Trace",
+    "TraceEvent",
+    "Tracer",
     "VwayCache",
     "available_policies",
     "available_schemes",
     "benchmark_names",
+    "build_manifest",
     "figure2_trace",
     "generate_trace",
+    "load_events",
     "make_benchmark_trace",
     "make_policy",
     "make_scheme",
     "run_benchmarks",
     "run_trace",
+    "summarize_events",
     "__version__",
 ]

@@ -1,0 +1,8 @@
+"""Single source of truth for the package version.
+
+Kept in its own module so leaf packages (``repro.obs`` stamps run
+manifests with the version) can import it without pulling in the whole
+:mod:`repro` namespace.
+"""
+
+__version__ = "1.1.0"

@@ -16,6 +16,8 @@ from repro.cache.block import BlockView
 from repro.cache.geometry import CacheGeometry
 from repro.common.rng import Lfsr
 from repro.common.stats import CacheStats
+from repro.obs.events import Eviction
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.policies.base import ReplacementPolicy
 
 #: Callback signature for eviction notifications: (block_address, dirty).
@@ -38,6 +40,10 @@ class SetAssociativeCache:
         Optional callback invoked with ``(block_address, dirty)`` for
         every block evicted by replacement — the hierarchy uses it to
         propagate L1 write-backs into the L2.
+    tracer:
+        Optional :class:`~repro.obs.tracer.Tracer`; defaults to the
+        disabled :data:`~repro.obs.tracer.NULL_TRACER` so tracing costs
+        nothing unless a sink is attached.
     """
 
     def __init__(
@@ -46,12 +52,14 @@ class SetAssociativeCache:
         policy: ReplacementPolicy,
         rng: Optional[Lfsr] = None,
         eviction_listener: Optional[EvictionListener] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.geometry = geometry
         self.mapper = geometry.mapper
         self.policy = policy
         self.rng = rng if rng is not None else Lfsr()
         self.eviction_listener = eviction_listener
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         policy.attach(geometry.num_sets, geometry.associativity, self.rng)
         self.stats = CacheStats()
         num_sets = geometry.num_sets
@@ -115,6 +123,14 @@ class SetAssociativeCache:
         if dirty:
             self.stats.writebacks += 1
             self._dirty[set_index][way] = False
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(Eviction(
+                access=self.stats.accesses,
+                set_index=set_index,
+                tag=old_tag,
+                dirty=dirty,
+            ))
         if self.eviction_listener is not None:
             block_address = self.mapper.compose(old_tag, set_index)
             self.eviction_listener(block_address, dirty)

@@ -4,16 +4,22 @@ Commands
 --------
 ``run``      simulate one scheme on one benchmark and print the metrics
 ``compare``  run several schemes on one benchmark side by side
+``trace``    run one scheme with event tracing (JSONL log + aggregates)
 ``sweep``    MPKI vs associativity for chosen schemes
 ``profile``  Figure 1-style capacity-demand profile + classification
 ``figure``   regenerate one of the paper's figures/tables by name
 ``overhead`` print the Table 3 storage budget
 ``list``     enumerate available schemes and benchmarks
+
+``run``, ``compare`` and ``figure`` additionally take ``--profile``
+(print per-phase wall-clock and accesses/sec) and ``run``/``compare``
+take ``--profile-json PATH`` (write a pytest-benchmark-style report).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 from typing import List, Optional
 
 from repro.analysis.capacity_demand import profile_capacity_demand
@@ -35,6 +41,10 @@ from repro.experiments import (
     traffic,
 )
 from repro.analysis.report import build_report, render_report
+from repro.obs.profile import PhaseTimer, RunProfiler
+from repro.obs.sinks import JsonlSink, RingBufferSink
+from repro.obs.tracer import Tracer
+from repro.obs.inspect import summarize_events
 from repro.sim.config import ExperimentScale, available_schemes, make_scheme
 from repro.sim.results import format_series
 from repro.sim.runner import associativity_sweep
@@ -68,12 +78,33 @@ def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
                         help="trace length in accesses (default 300000)")
 
 
+def _add_profile_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="print per-phase wall-clock timings and accesses/sec"
+    )
+    parser.add_argument(
+        "--profile-json", metavar="PATH", default=None,
+        help="write a pytest-benchmark-style JSON profile to PATH"
+    )
+
+
 def _scale_from(args: argparse.Namespace) -> ExperimentScale:
     return ExperimentScale(
         num_sets=args.sets,
         associativity=args.assoc,
         trace_length=args.length,
     )
+
+
+def _finish_profile(profiler: RunProfiler, args: argparse.Namespace) -> None:
+    """Shared ``--profile`` / ``--profile-json`` epilogue."""
+    if getattr(args, "profile", False):
+        print(profiler.render())
+    profile_json = getattr(args, "profile_json", None)
+    if profile_json:
+        profiler.save_bench_json(profile_json)
+        print(f"wrote profile report to {profile_json}")
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -86,6 +117,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"{result.scheme} on {result.trace_name}: "
           f"MPKI={result.mpki:.3f}  AMAT={result.amat:.2f}  "
           f"CPI={result.cpi:.3f}  miss_rate={result.miss_rate:.3f}")
+    if args.profile or args.profile_json:
+        profiler = RunProfiler()
+        profiler.add(result)
+        _finish_profile(profiler, args)
     return 0
 
 
@@ -95,6 +130,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         args.benchmark, num_sets=scale.num_sets, length=scale.trace_length
     )
     baseline = None
+    profiler = RunProfiler()
     print(f"{'scheme':>10s} {'MPKI':>9s} {'AMAT':>9s} {'CPI':>8s} "
           f"{'vs LRU':>8s}")
     for scheme in args.schemes.split(","):
@@ -102,11 +138,43 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         result = run_trace(
             cache, trace, warmup_fraction=scale.warmup_fraction
         )
+        profiler.add(result)
         if baseline is None:
             baseline = result.mpki
         relative = result.mpki / baseline if baseline else float("nan")
         print(f"{result.scheme:>10s} {result.mpki:>9.3f} "
               f"{result.amat:>9.2f} {result.cpi:>8.3f} {relative:>8.3f}")
+    if args.profile or args.profile_json:
+        _finish_profile(profiler, args)
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    scale = _scale_from(args)
+    trace = make_benchmark_trace(
+        args.benchmark, num_sets=scale.num_sets, length=scale.trace_length
+    )
+    ring = RingBufferSink(capacity=args.buffer)
+    tracer = Tracer(ring)
+    jsonl: Optional[JsonlSink] = None
+    if args.events:
+        jsonl = JsonlSink(args.events)
+        tracer.add_sink(jsonl)
+    cache = make_scheme(args.scheme, scale.geometry(), tracer=tracer)
+    # No warm-up discard: the event log should keep a monotonic access
+    # clock (reset_stats would rewind it mid-stream).
+    result = run_trace(cache, trace, warmup_fraction=0.0)
+    tracer.close()
+    print(f"{result.scheme} on {result.trace_name}: "
+          f"MPKI={result.mpki:.3f}  AMAT={result.amat:.2f}  "
+          f"CPI={result.cpi:.3f}  miss_rate={result.miss_rate:.3f}")
+    print(f"{tracer.events_emitted} events emitted "
+          f"({ring.dropped} beyond the ring buffer)")
+    print(summarize_events(ring.events))
+    if jsonl is not None:
+        print(f"wrote {jsonl.total_recorded} events to {jsonl.path}")
+    if args.manifest and result.manifest is not None:
+        print(json.dumps(result.manifest.as_dict(), indent=2, sort_keys=True))
     return 0
 
 
@@ -164,7 +232,12 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 def _cmd_figure(args: argparse.Namespace) -> int:
     module = _FIGURES[args.name]
-    module.main()
+    if args.profile:
+        with PhaseTimer(args.name) as timer:
+            module.main()
+        print(f"figure {args.name}: {timer.seconds:.3f}s wall-clock")
+    else:
+        module.main()
     return 0
 
 
@@ -194,6 +267,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("scheme")
     run_parser.add_argument("benchmark", choices=benchmark_names())
     _add_scale_arguments(run_parser)
+    _add_profile_arguments(run_parser)
     run_parser.set_defaults(handler=_cmd_run)
 
     compare_parser = commands.add_parser(
@@ -204,7 +278,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--schemes", default="LRU,DIP,PeLIFO,V-Way,SBC,STEM"
     )
     _add_scale_arguments(compare_parser)
+    _add_profile_arguments(compare_parser)
     compare_parser.set_defaults(handler=_cmd_compare)
+
+    trace_parser = commands.add_parser(
+        "trace", help="run one scheme with event tracing"
+    )
+    trace_parser.add_argument("scheme")
+    trace_parser.add_argument("benchmark", choices=benchmark_names())
+    trace_parser.add_argument(
+        "--events", metavar="PATH", default=None,
+        help="write the event log as JSONL to PATH"
+    )
+    trace_parser.add_argument(
+        "--buffer", type=int, default=None, metavar="N",
+        help="keep only the last N events for the printed summary"
+    )
+    trace_parser.add_argument(
+        "--manifest", action="store_true",
+        help="also print the run manifest as JSON"
+    )
+    _add_scale_arguments(trace_parser)
+    trace_parser.set_defaults(handler=_cmd_trace)
 
     sweep_parser = commands.add_parser(
         "sweep", help="MPKI vs associativity"
@@ -235,6 +330,10 @@ def build_parser() -> argparse.ArgumentParser:
         "figure", help="regenerate a paper figure/table"
     )
     figure_parser.add_argument("name", choices=sorted(_FIGURES))
+    figure_parser.add_argument(
+        "--profile", action="store_true",
+        help="print the figure's total wall-clock time"
+    )
     figure_parser.set_defaults(handler=_cmd_figure)
 
     overhead_parser = commands.add_parser(

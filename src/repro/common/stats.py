@@ -7,8 +7,8 @@ plus structured latency accounting used by the AMAT/CPI models.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict
+from dataclasses import dataclass, field, fields
+from typing import Dict, Tuple
 
 
 @dataclass
@@ -63,46 +63,30 @@ class CacheStats:
 
     def merge(self, other: "CacheStats") -> None:
         """Accumulate ``other`` into this object (for sharded runs)."""
-        self.accesses += other.accesses
-        self.hits += other.hits
-        self.misses += other.misses
-        self.local_hits += other.local_hits
-        self.cooperative_hits += other.cooperative_hits
-        self.misses_single_probe += other.misses_single_probe
-        self.misses_double_probe += other.misses_double_probe
-        self.evictions += other.evictions
-        self.writebacks += other.writebacks
-        self.spills += other.spills
-        self.spill_rejects += other.spill_rejects
-        self.shadow_hits += other.shadow_hits
-        self.policy_swaps += other.policy_swaps
-        self.couplings += other.couplings
-        self.decouplings += other.decouplings
-        self.total_latency_cycles += other.total_latency_cycles
+        for name in counter_field_names():
+            setattr(self, name, getattr(self, name) + getattr(other, name))
         for name, amount in other.extra.items():
             self.bump(name, amount)
 
     def as_dict(self) -> Dict[str, float]:
         """Flat dictionary view, convenient for result tables."""
         table: Dict[str, float] = {
-            "accesses": self.accesses,
-            "hits": self.hits,
-            "misses": self.misses,
-            "local_hits": self.local_hits,
-            "cooperative_hits": self.cooperative_hits,
-            "misses_single_probe": self.misses_single_probe,
-            "misses_double_probe": self.misses_double_probe,
-            "evictions": self.evictions,
-            "writebacks": self.writebacks,
-            "spills": self.spills,
-            "spill_rejects": self.spill_rejects,
-            "shadow_hits": self.shadow_hits,
-            "policy_swaps": self.policy_swaps,
-            "couplings": self.couplings,
-            "decouplings": self.decouplings,
-            "total_latency_cycles": self.total_latency_cycles,
-            "miss_rate": self.miss_rate,
-            "hit_rate": self.hit_rate,
+            name: getattr(self, name) for name in counter_field_names()
         }
+        table["miss_rate"] = self.miss_rate
+        table["hit_rate"] = self.hit_rate
         table.update(self.extra)
         return table
+
+
+#: Every integer counter field, derived once from the dataclass so
+#: ``merge``/``as_dict`` (and the timeline's tracked set) can never
+#: silently drop a newly added counter.
+_COUNTER_FIELDS: Tuple[str, ...] = tuple(
+    spec.name for spec in fields(CacheStats) if spec.name != "extra"
+)
+
+
+def counter_field_names() -> Tuple[str, ...]:
+    """Names of all :class:`CacheStats` integer counters, in order."""
+    return _COUNTER_FIELDS

@@ -32,6 +32,16 @@ from repro.common.rng import Lfsr
 from repro.common.stats import CacheStats
 from repro.core.config import StemConfig
 from repro.core.scdm import SetMonitor
+from repro.obs.events import (
+    Coupling,
+    Decoupling,
+    Eviction,
+    PolicySwap,
+    ShadowHit,
+    Spill,
+    SpillReject,
+)
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.spatial.association import AssociationTable
 from repro.spatial.heap import GiverHeap
 
@@ -53,6 +63,7 @@ class StemCache:
         geometry: CacheGeometry,
         config: Optional[StemConfig] = None,
         rng: Optional[Lfsr] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if geometry.num_sets < 2:
             raise ConfigError("STEM needs at least two sets to couple")
@@ -60,6 +71,7 @@ class StemCache:
         self.mapper = geometry.mapper
         self.config = config if config is not None else StemConfig()
         self.rng = rng if rng is not None else Lfsr()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.stats = CacheStats()
         self._hash = H3Hash(
             in_bits=geometry.tag_bits,
@@ -139,13 +151,28 @@ class StemCache:
         else:
             stats.misses_single_probe += 1
         monitor = self.monitors[set_index]
-        if monitor.probe_shadow(self._hash(tag)):
+        signature = self._hash(tag)
+        if monitor.probe_shadow(signature):
             stats.shadow_hits += 1
+            tracer = self.tracer
+            if tracer.enabled:
+                tracer.emit(ShadowHit(
+                    access=stats.accesses,
+                    set_index=set_index,
+                    signature=signature,
+                ))
         self._fill(set_index, tag, is_write)
         if monitor.wants_policy_swap:
             if self.config.enable_temporal:
                 self._mode[set_index] ^= 1
                 stats.policy_swaps += 1
+                tracer = self.tracer
+                if tracer.enabled:
+                    tracer.emit(PolicySwap(
+                        access=stats.accesses,
+                        set_index=set_index,
+                        mode=self.policy_mode_of(set_index),
+                    ))
             monitor.acknowledge_policy_swap()
         self._maybe_post_giver(set_index, monitor)
         return AccessKind.MISS_COOP if probed_coop else AccessKind.MISS
@@ -189,6 +216,14 @@ class StemCache:
                 self._spill(set_index, giver, victim_tag, dirty)
                 return
             self.stats.spill_rejects += 1
+            tracer = self.tracer
+            if tracer.enabled:
+                tracer.emit(SpillReject(
+                    access=self.stats.accesses,
+                    set_index=set_index,
+                    giver=giver,
+                    tag=victim_tag,
+                ))
         self._evict_off_chip(set_index, victim_tag, dirty)
 
     def _receiving_allowed(self, giver: int) -> bool:
@@ -214,6 +249,15 @@ class StemCache:
     def _spill(self, taker: int, giver: int, tag: int, dirty: bool) -> None:
         """Displace a taker victim into the giver (inter-set caching)."""
         self.stats.spills += 1
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(Spill(
+                access=self.stats.accesses,
+                set_index=taker,
+                giver=giver,
+                tag=tag,
+                dirty=dirty,
+            ))
         free = self._free[giver]
         if free:
             way = free.pop()
@@ -266,6 +310,15 @@ class StemCache:
         key = self._way_key[set_index][way]
         del self._lookup[set_index][key]
         self._way_key[set_index][way] = None
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(Eviction(
+                access=self.stats.accesses,
+                set_index=set_index,
+                tag=key >> 1,
+                dirty=self._dirty[set_index][way],
+                cooperative=bool(key & 1),
+            ))
         self._dirty[set_index][way] = False
         self._order[set_index].remove(way)
         self.stats.evictions += 1
@@ -304,6 +357,11 @@ class StemCache:
         self._coupled_role[giver] = _GIVER
         self.heap.remove(taker)
         self.stats.couplings += 1
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(Coupling(
+                access=self.stats.accesses, set_index=taker, giver=giver
+            ))
         return giver
 
     def _decouple(self, taker: int, giver: int) -> None:
@@ -311,6 +369,11 @@ class StemCache:
         self._coupled_role[taker] = _UNCOUPLED
         self._coupled_role[giver] = _UNCOUPLED
         self.stats.decouplings += 1
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(Decoupling(
+                access=self.stats.accesses, set_index=taker, giver=giver
+            ))
 
     # ------------------------------------------------------------------
     # Inspection

@@ -1,0 +1,78 @@
+"""Observability: event tracing, run provenance and hot-loop profiling.
+
+The three legs of the layer (see DESIGN.md's tracepoint note and the
+README's *Observability* section):
+
+* **events + tracer + sinks** — a zero-overhead-when-disabled event bus.
+  Every cache scheme takes an injectable :class:`Tracer` (defaulting to
+  the disabled :data:`NULL_TRACER`) and emits typed events — evictions,
+  spills and rejects, couplings/decouplings, policy swaps, shadow hits —
+  into ring-buffer or JSONL sinks.
+* **manifest** — a :class:`RunManifest` attached to every
+  ``RunResult``: scheme config, trace metadata, seed, wall-clock and
+  platform info, plus a content hash over the deterministic inputs.
+* **profile + inspect** — phase timers aggregated by
+  :class:`RunProfiler` (``--profile`` CLI flags) and event-log
+  aggregations (coupling lifetimes, spill fan-out, swap cadence) behind
+  the ``repro trace`` command.
+"""
+
+from repro.obs.events import (
+    EVENT_TYPES,
+    Coupling,
+    Decoupling,
+    Eviction,
+    PolicySwap,
+    ShadowHit,
+    Spill,
+    SpillReject,
+    TraceEvent,
+    event_from_dict,
+)
+from repro.obs.inspect import (
+    CouplingSpan,
+    coupling_lifetimes,
+    coupling_spans,
+    event_counts,
+    per_set_counts,
+    spill_fanout,
+    summarize_events,
+    swap_cadence,
+)
+from repro.obs.manifest import RunManifest, build_manifest, describe_scheme
+from repro.obs.profile import PhaseTimer, ProfileRecord, RunProfiler
+from repro.obs.sinks import JsonlSink, RingBufferSink, load_events
+from repro.obs.tracer import NULL_TRACER, Tracer, TraceSink
+
+__all__ = [
+    "EVENT_TYPES",
+    "Coupling",
+    "CouplingSpan",
+    "Decoupling",
+    "Eviction",
+    "JsonlSink",
+    "NULL_TRACER",
+    "PhaseTimer",
+    "PolicySwap",
+    "ProfileRecord",
+    "RingBufferSink",
+    "RunManifest",
+    "RunProfiler",
+    "ShadowHit",
+    "Spill",
+    "SpillReject",
+    "TraceEvent",
+    "TraceSink",
+    "Tracer",
+    "build_manifest",
+    "coupling_lifetimes",
+    "coupling_spans",
+    "describe_scheme",
+    "event_counts",
+    "event_from_dict",
+    "load_events",
+    "per_set_counts",
+    "spill_fanout",
+    "summarize_events",
+    "swap_cadence",
+]

@@ -1,0 +1,150 @@
+"""Typed trace events emitted by the simulated cache controllers.
+
+Every interesting micro-architectural action — a block leaving a set, a
+victim spilling into a coupled partner, a pair forming or dissolving, a
+per-set policy swap, a shadow-set hit — has a small frozen dataclass
+here.  Events are *data*: caches construct them only when a tracer is
+enabled, sinks serialise them (``as_dict``), and the inspection helpers
+rebuild them from JSONL logs (``event_from_dict``).
+
+All events share two fields:
+
+``access``
+    The owning cache's ``stats.accesses`` value at emission time — the
+    simulation's clock.  ``reset_stats()`` (the warm-up boundary) also
+    resets this clock, so time-axis analyses should trace runs with
+    ``warmup_fraction=0.0`` (the ``repro trace`` command's default).
+``set_index``
+    The *home* set of the action: the evicting set, the spilling taker,
+    the swapping set, the shadow-probing set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, ClassVar, Dict, Type
+
+from repro.common.errors import ConfigError
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """Base class for every trace event."""
+
+    kind: ClassVar[str] = "event"
+
+    access: int
+    set_index: int
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Flat JSON-serialisable view including the ``kind`` tag."""
+        record: Dict[str, Any] = {"kind": self.kind}
+        for spec in fields(self):
+            record[spec.name] = getattr(self, spec.name)
+        return record
+
+
+@dataclass(frozen=True, slots=True)
+class Eviction(TraceEvent):
+    """A block was removed from ``set_index`` (mirrors ``stats.evictions``).
+
+    ``cooperative`` marks a giver set evicting a block it cached on
+    behalf of its coupled taker.  Spilled victims also produce an
+    :class:`Eviction` in the taker (the block left that set) followed by
+    a :class:`Spill` recording where it went.
+    """
+
+    kind: ClassVar[str] = "eviction"
+
+    tag: int = 0
+    dirty: bool = False
+    cooperative: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class Spill(TraceEvent):
+    """A taker (``set_index``) displaced a victim into ``giver``."""
+
+    kind: ClassVar[str] = "spill"
+
+    giver: int = -1
+    tag: int = 0
+    dirty: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class SpillReject(TraceEvent):
+    """Receiving control refused a spill from ``set_index`` to ``giver``."""
+
+    kind: ClassVar[str] = "spill_reject"
+
+    giver: int = -1
+    tag: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class Coupling(TraceEvent):
+    """Taker ``set_index`` coupled with ``giver``."""
+
+    kind: ClassVar[str] = "coupling"
+
+    giver: int = -1
+
+
+@dataclass(frozen=True, slots=True)
+class Decoupling(TraceEvent):
+    """The (``set_index`` = taker, ``giver``) pair dissolved."""
+
+    kind: ClassVar[str] = "decoupling"
+
+    giver: int = -1
+
+
+@dataclass(frozen=True, slots=True)
+class PolicySwap(TraceEvent):
+    """SC_T saturated: ``set_index`` swapped its policy to ``mode``."""
+
+    kind: ClassVar[str] = "policy_swap"
+
+    mode: str = "LRU"
+
+
+@dataclass(frozen=True, slots=True)
+class ShadowHit(TraceEvent):
+    """A miss in ``set_index`` hit the set's shadow tags (SCDM pulse)."""
+
+    kind: ClassVar[str] = "shadow_hit"
+
+    signature: int = 0
+
+
+#: Every concrete event type, keyed by its ``kind`` tag.
+EVENT_TYPES: Dict[str, Type[TraceEvent]] = {
+    cls.kind: cls
+    for cls in (
+        Eviction,
+        Spill,
+        SpillReject,
+        Coupling,
+        Decoupling,
+        PolicySwap,
+        ShadowHit,
+    )
+}
+
+
+def event_from_dict(record: Dict[str, Any]) -> TraceEvent:
+    """Rebuild a typed event from an ``as_dict`` / JSONL record."""
+    try:
+        cls = EVENT_TYPES[record["kind"]]
+    except KeyError as exc:
+        raise ConfigError(
+            f"unknown event kind {record.get('kind')!r}; "
+            f"known: {', '.join(sorted(EVENT_TYPES))}"
+        ) from exc
+    payload = {
+        spec.name: record[spec.name]
+        for spec in fields(cls)
+        if spec.name in record
+    }
+    return cls(**payload)

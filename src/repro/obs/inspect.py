@@ -1,0 +1,170 @@
+"""Aggregate an event log into the paper's dynamics views.
+
+Where :class:`~repro.common.stats.CacheStats` answers *how much*, these
+helpers answer *where* and *when*: per-set event histograms, coupling
+lifetimes (how long taker/giver pairs survive), spill fan-out (which
+givers absorb whose victims) and policy-swap cadence (how often each
+set's LRU/BIP duel flips).  They accept any iterable of
+:class:`~repro.obs.events.TraceEvent` — a ring buffer's ``events`` or a
+JSONL log read by :func:`~repro.obs.sinks.load_events`.
+
+Event ``access`` indices are the emitting cache's access clock, which
+``reset_stats()`` rewinds; trace with ``warmup_fraction=0.0`` (the
+``repro trace`` default) when lifetimes or cadences matter.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.obs.events import (
+    Coupling,
+    Decoupling,
+    PolicySwap,
+    Spill,
+    TraceEvent,
+)
+
+
+@dataclass(frozen=True)
+class CouplingSpan:
+    """One taker/giver pairing from formation to dissolution."""
+
+    taker: int
+    giver: int
+    start_access: int
+    end_access: Optional[int]  # None: still coupled at end of log
+
+    @property
+    def lifetime(self) -> Optional[int]:
+        """Accesses the pair survived, or None while still open."""
+        if self.end_access is None:
+            return None
+        return self.end_access - self.start_access
+
+
+def event_counts(events: Iterable[TraceEvent]) -> Dict[str, int]:
+    """{kind: count} over the whole log."""
+    return dict(Counter(event.kind for event in events))
+
+
+def per_set_counts(
+    events: Iterable[TraceEvent], kind: Optional[str] = None
+) -> Dict[int, int]:
+    """{set_index: count}, optionally restricted to one event kind."""
+    return dict(Counter(
+        event.set_index
+        for event in events
+        if kind is None or event.kind == kind
+    ))
+
+
+def coupling_spans(events: Iterable[TraceEvent]) -> List[CouplingSpan]:
+    """Pair each Coupling with its Decoupling into lifetime spans."""
+    open_spans: Dict[tuple, int] = {}
+    spans: List[CouplingSpan] = []
+    for event in events:
+        if isinstance(event, Coupling):
+            open_spans[(event.set_index, event.giver)] = event.access
+        elif isinstance(event, Decoupling):
+            start = open_spans.pop((event.set_index, event.giver), None)
+            if start is not None:
+                spans.append(CouplingSpan(
+                    taker=event.set_index,
+                    giver=event.giver,
+                    start_access=start,
+                    end_access=event.access,
+                ))
+    for (taker, giver), start in open_spans.items():
+        spans.append(CouplingSpan(
+            taker=taker, giver=giver, start_access=start, end_access=None
+        ))
+    spans.sort(key=lambda span: span.start_access)
+    return spans
+
+
+def coupling_lifetimes(events: Iterable[TraceEvent]) -> List[int]:
+    """Lifetimes (in accesses) of every *closed* coupling."""
+    return [
+        span.lifetime
+        for span in coupling_spans(events)
+        if span.lifetime is not None
+    ]
+
+
+def spill_fanout(events: Iterable[TraceEvent]) -> Dict[int, Dict[int, int]]:
+    """{taker: {giver: spill count}} — who displaced victims where."""
+    fanout: Dict[int, Dict[int, int]] = {}
+    for event in events:
+        if isinstance(event, Spill):
+            row = fanout.setdefault(event.set_index, {})
+            row[event.giver] = row.get(event.giver, 0) + 1
+    return fanout
+
+
+def swap_cadence(events: Iterable[TraceEvent]) -> Dict[int, List[int]]:
+    """{set_index: gaps between consecutive policy swaps, in accesses}."""
+    last_swap: Dict[int, int] = {}
+    cadence: Dict[int, List[int]] = {}
+    for event in events:
+        if not isinstance(event, PolicySwap):
+            continue
+        previous = last_swap.get(event.set_index)
+        if previous is not None:
+            cadence.setdefault(event.set_index, []).append(
+                event.access - previous
+            )
+        else:
+            cadence.setdefault(event.set_index, [])
+        last_swap[event.set_index] = event.access
+    return cadence
+
+
+def _mean(values: List[int]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def summarize_events(events: Iterable[TraceEvent]) -> str:
+    """Human-readable digest: counts plus the headline dynamics."""
+    log = list(events)
+    lines: List[str] = []
+    counts = event_counts(log)
+    if not counts:
+        return "no events recorded"
+    width = max(len(kind) for kind in counts)
+    for kind in sorted(counts):
+        lines.append(f"  {kind:<{width}s} {counts[kind]:>8d}")
+    lifetimes = coupling_lifetimes(log)
+    spans = coupling_spans(log)
+    open_pairs = sum(1 for span in spans if span.end_access is None)
+    if spans:
+        lines.append(
+            f"  couplings: {len(spans)} pairs "
+            f"({open_pairs} still open), mean closed lifetime "
+            f"{_mean(lifetimes):,.0f} accesses"
+        )
+    fanout = spill_fanout(log)
+    if fanout:
+        total_spills = sum(
+            count for row in fanout.values() for count in row.values()
+        )
+        busiest_taker = max(
+            fanout, key=lambda taker: sum(fanout[taker].values())
+        )
+        lines.append(
+            f"  spills: {total_spills} across {len(fanout)} taker set(s); "
+            f"busiest taker set {busiest_taker} "
+            f"({sum(fanout[busiest_taker].values())} spills to "
+            f"{len(fanout[busiest_taker])} giver(s))"
+        )
+    cadence = swap_cadence(log)
+    gaps = [gap for series in cadence.values() for gap in series]
+    if cadence:
+        lines.append(
+            f"  policy swaps: {counts.get('policy_swap', 0)} over "
+            f"{len(cadence)} set(s), mean inter-swap gap "
+            f"{_mean(gaps):,.0f} accesses"
+        )
+    return "\n".join(lines)

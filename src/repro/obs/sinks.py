@@ -1,0 +1,100 @@
+"""Concrete trace sinks: in-memory ring buffer and JSONL files.
+
+:class:`RingBufferSink` keeps the last ``capacity`` events (or all of
+them) for in-process analysis; :class:`JsonlSink` streams events to a
+newline-delimited-JSON file that :func:`load_events` reads back into
+typed events — the archival format the ``repro trace`` command writes.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+from typing import Deque, List, Optional, TextIO, Union
+
+from repro.common.errors import ConfigError
+from repro.obs.events import TraceEvent, event_from_dict
+
+
+class RingBufferSink:
+    """Keep the most recent ``capacity`` events in memory.
+
+    ``capacity=None`` keeps everything — convenient for tests and the
+    inspection helpers; bound it for long traces.
+    """
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ConfigError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._buffer: Deque[TraceEvent] = deque(maxlen=capacity)
+        self.total_recorded = 0
+
+    def record(self, event: TraceEvent) -> None:
+        """Append ``event``, dropping the oldest when full."""
+        self._buffer.append(event)
+        self.total_recorded += 1
+
+    @property
+    def dropped(self) -> int:
+        """How many events fell off the ring."""
+        return self.total_recorded - len(self._buffer)
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """Snapshot of the retained events, oldest first."""
+        return list(self._buffer)
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def clear(self) -> None:
+        """Drop all retained events (keeps ``total_recorded``)."""
+        self._buffer.clear()
+
+
+class JsonlSink:
+    """Stream events to a JSON-lines file (one event dict per line)."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._handle: Optional[TextIO] = self.path.open("w", encoding="utf-8")
+        self.total_recorded = 0
+
+    def record(self, event: TraceEvent) -> None:
+        """Serialise one event as a JSON line."""
+        if self._handle is None:
+            raise ConfigError(f"JsonlSink {self.path} is closed")
+        self._handle.write(json.dumps(event.as_dict()) + "\n")
+        self.total_recorded += 1
+
+    def close(self) -> None:
+        """Flush and close the underlying file (idempotent)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def load_events(path: Union[str, Path]) -> List[TraceEvent]:
+    """Read a JSONL event log back into typed events."""
+    events: List[TraceEvent] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ConfigError(
+                    f"{path}:{line_number}: malformed event line"
+                ) from exc
+            events.append(event_from_dict(record))
+    return events

@@ -16,6 +16,7 @@ from repro.cache.geometry import CacheGeometry
 from repro.common.errors import ConfigError
 from repro.common.rng import Lfsr
 from repro.core.config import StemConfig
+from repro.obs.tracer import Tracer
 from repro.core.stem_cache import StemCache
 from repro.policies.registry import make_policy
 from repro.spatial.page_coloring import PageColoringCache
@@ -40,43 +41,58 @@ class MachineConfig:
 
 def _policy_cache(policy_name: str) -> Callable[..., SetAssociativeCache]:
     def build(geometry: CacheGeometry, seed: int = 0xACE1,
+              tracer: Optional[Tracer] = None,
               **_: object) -> SetAssociativeCache:
         return SetAssociativeCache(
-            geometry, make_policy(policy_name), rng=Lfsr(seed=seed)
+            geometry, make_policy(policy_name), rng=Lfsr(seed=seed),
+            tracer=tracer,
         )
 
     return build
 
 
 def _build_vway(geometry: CacheGeometry, seed: int = 0xACE1,
+                tracer: Optional[Tracer] = None,
                 **kwargs: object) -> VwayCache:
-    return VwayCache(geometry, rng=Lfsr(seed=seed), **kwargs)
+    return VwayCache(geometry, rng=Lfsr(seed=seed), tracer=tracer, **kwargs)
 
 
 def _build_sbc(geometry: CacheGeometry, seed: int = 0xACE1,
+               tracer: Optional[Tracer] = None,
                **kwargs: object) -> SbcCache:
-    return SbcCache(geometry, rng=Lfsr(seed=seed), **kwargs)
+    return SbcCache(geometry, rng=Lfsr(seed=seed), tracer=tracer, **kwargs)
 
 
 def _build_static_sbc(geometry: CacheGeometry, seed: int = 0xACE1,
+                      tracer: Optional[Tracer] = None,
                       **kwargs: object) -> StaticSbcCache:
-    return StaticSbcCache(geometry, rng=Lfsr(seed=seed), **kwargs)
+    return StaticSbcCache(
+        geometry, rng=Lfsr(seed=seed), tracer=tracer, **kwargs
+    )
 
 
 def _build_rocs(geometry: CacheGeometry, seed: int = 0xACE1,
+                tracer: Optional[Tracer] = None,
                 **kwargs: object) -> PageColoringCache:
+    # ROCS carries no tracepoints yet; the tracer is accepted for a
+    # uniform factory signature and simply never receives events.
     return PageColoringCache(geometry, rng=Lfsr(seed=seed), **kwargs)
 
 
 def _build_victim(geometry: CacheGeometry, seed: int = 0xACE1,
+                  tracer: Optional[Tracer] = None,
                   **kwargs: object) -> VictimCache:
+    # Victim buffer carries no tracepoints yet; see _build_rocs.
     return VictimCache(geometry, rng=Lfsr(seed=seed), **kwargs)
 
 
 def _build_stem(geometry: CacheGeometry, seed: int = 0xACE1,
                 config: Optional[StemConfig] = None,
+                tracer: Optional[Tracer] = None,
                 **_: object) -> StemCache:
-    return StemCache(geometry, config=config, rng=Lfsr(seed=seed))
+    return StemCache(
+        geometry, config=config, rng=Lfsr(seed=seed), tracer=tracer
+    )
 
 
 _SCHEME_FACTORIES: Dict[str, Callable] = {
@@ -126,14 +142,21 @@ def canonical_scheme_name(name: str) -> str:
 
 
 def make_scheme(name: str, geometry: CacheGeometry, seed: int = 0xACE1,
-                **kwargs: object):
-    """Instantiate the LLC scheme registered under ``name``."""
+                tracer: Optional[Tracer] = None, **kwargs: object):
+    """Instantiate the LLC scheme registered under ``name``.
+
+    ``tracer`` is handed to schemes that carry tracepoints (all of the
+    paper's competitors); the build seed is stamped on the returned
+    cache as ``cache.seed`` so run manifests can record it.
+    """
     factory = _SCHEME_FACTORIES.get(name.lower())
     if factory is None:
         raise ConfigError(
             f"unknown scheme {name!r}; available: {', '.join(available_schemes())}"
         )
-    return factory(geometry, seed=seed, **kwargs)
+    cache = factory(geometry, seed=seed, tracer=tracer, **kwargs)
+    cache.seed = seed
+    return cache
 
 
 @dataclass(frozen=True)

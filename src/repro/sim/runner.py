@@ -1,9 +1,16 @@
-"""Experiment runner: scheme x workload grids and associativity sweeps."""
+"""Experiment runner: scheme x workload grids and associativity sweeps.
+
+All entry points accept an optional
+:class:`~repro.obs.profile.RunProfiler`, which collects each run's
+phase timings (already measured by :func:`run_trace`) into one report —
+the substrate behind the CLI's ``--profile`` flags.
+"""
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from repro.obs.profile import RunProfiler
 from repro.sim.config import ExperimentScale, make_scheme
 from repro.sim.results import ResultMatrix
 from repro.sim.simulator import RunResult, run_trace
@@ -16,6 +23,7 @@ def run_matrix(
     schemes: Sequence[str],
     scale: Optional[ExperimentScale] = None,
     seed: int = 0xACE1,
+    profiler: Optional[RunProfiler] = None,
 ) -> ResultMatrix:
     """Run every scheme on every trace at one geometry."""
     scale = scale if scale is not None else ExperimentScale.default()
@@ -30,6 +38,8 @@ def run_matrix(
                 warmup_fraction=scale.warmup_fraction,
                 machine=scale.machine,
             )
+            if profiler is not None:
+                profiler.add(result)
             matrix.add(result)
     return matrix
 
@@ -39,6 +49,7 @@ def run_benchmarks(
     benchmarks: Optional[Sequence[str]] = None,
     scale: Optional[ExperimentScale] = None,
     seed: int = 0xACE1,
+    profiler: Optional[RunProfiler] = None,
 ) -> ResultMatrix:
     """Run the (selected) SPEC-like benchmarks through every scheme."""
     scale = scale if scale is not None else ExperimentScale.default()
@@ -51,7 +62,8 @@ def run_benchmarks(
         )
         for name in names
     ]
-    return run_matrix(traces, schemes, scale=scale, seed=seed)
+    return run_matrix(traces, schemes, scale=scale, seed=seed,
+                      profiler=profiler)
 
 
 def associativity_sweep(
@@ -60,6 +72,7 @@ def associativity_sweep(
     associativities: Sequence[int],
     scale: Optional[ExperimentScale] = None,
     seed: int = 0xACE1,
+    profiler: Optional[RunProfiler] = None,
 ) -> Dict[str, List[RunResult]]:
     """MPKI-vs-associativity curves (Figures 3 and 10).
 
@@ -73,12 +86,13 @@ def associativity_sweep(
         geometry = scale.geometry(associativity=associativity)
         for scheme_name in schemes:
             cache = make_scheme(scheme_name, geometry, seed=seed)
-            curves[scheme_name].append(
-                run_trace(
-                    cache,
-                    trace,
-                    warmup_fraction=scale.warmup_fraction,
-                    machine=scale.machine,
-                )
+            result = run_trace(
+                cache,
+                trace,
+                warmup_fraction=scale.warmup_fraction,
+                machine=scale.machine,
             )
+            if profiler is not None:
+                profiler.add(result)
+            curves[scheme_name].append(result)
     return curves

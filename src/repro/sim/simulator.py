@@ -5,16 +5,25 @@ the ``access() -> AccessKind`` protocol, with a warm-up prefix whose
 statistics are discarded (the paper warms caches before measurement),
 and returns a :class:`RunResult` carrying the raw counters plus the
 three paper metrics.
+
+Every run is also timed (``perf_counter`` around the warm-up and
+measured loops — two clock reads per phase, invisible next to the
+simulation itself) and stamped with a
+:class:`~repro.obs.manifest.RunManifest` so results carry their own
+provenance; :class:`~repro.obs.profile.RunProfiler` aggregates the
+timings for the ``--profile`` CLI surface.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Optional
 
 from repro.analysis.metrics import MetricSet, evaluate_run
 from repro.common.errors import ConfigError
 from repro.common.stats import CacheStats
+from repro.obs.manifest import RunManifest, build_manifest
 from repro.sim.config import MachineConfig
 from repro.workloads.trace import Trace
 
@@ -29,6 +38,7 @@ class RunResult:
     measured_accesses: int
     measured_instructions: int
     metrics: MetricSet
+    manifest: Optional[RunManifest] = None
 
     @property
     def mpki(self) -> float:
@@ -77,18 +87,24 @@ def run_trace(
     warm = int(total * warmup_fraction)
     access = cache.access
     writes = trace.writes if with_writes else None
+    phase_start = perf_counter()
     if writes is None:
         for index in range(warm):
             access(addresses[index])
+        warmup_seconds = perf_counter() - phase_start
         cache.reset_stats()
+        phase_start = perf_counter()
         for index in range(warm, total):
             access(addresses[index])
     else:
         for index in range(warm):
             access(addresses[index], writes[index])
+        warmup_seconds = perf_counter() - phase_start
         cache.reset_stats()
+        phase_start = perf_counter()
         for index in range(warm, total):
             access(addresses[index], writes[index])
+    measured_seconds = perf_counter() - phase_start
     measured = total - warm
     instructions = max(
         1, round(trace.metadata.instructions * measured / total)
@@ -102,6 +118,13 @@ def run_trace(
         latency=machine.latency,
         cpi_model=machine.cpi,
     )
+    manifest = build_manifest(
+        cache,
+        trace,
+        warmup_seconds=warmup_seconds,
+        measured_seconds=measured_seconds,
+        measured_accesses=measured,
+    )
     return RunResult(
         scheme=scheme,
         trace_name=trace.name,
@@ -109,4 +132,5 @@ def run_trace(
         measured_accesses=measured,
         measured_instructions=instructions,
         metrics=metrics,
+        manifest=manifest,
     )

@@ -15,13 +15,14 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.common.errors import ConfigError
+from repro.common.stats import counter_field_names
 from repro.workloads.trace import Trace
 
-#: Counters sampled per window (deltas between window boundaries).
-_TRACKED = (
-    "misses", "hits", "spills", "policy_swaps", "couplings",
-    "decouplings", "cooperative_hits", "shadow_hits",
-)
+#: Counters sampled per window (deltas between window boundaries) —
+#: derived from :class:`~repro.common.stats.CacheStats` so every
+#: counter (spill_rejects, evictions, writebacks, misses_double_probe,
+#: future additions, ...) is tracked automatically.
+_TRACKED = counter_field_names()
 
 
 @dataclass

@@ -28,6 +28,8 @@ from repro.cache.geometry import CacheGeometry
 from repro.common.errors import ConfigError
 from repro.common.rng import Lfsr
 from repro.common.stats import CacheStats
+from repro.obs.events import Coupling, Decoupling, Eviction, Spill
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.spatial.association import AssociationTable
 from repro.spatial.heap import GiverHeap
 
@@ -48,10 +50,12 @@ class SbcCache:
         saturation_limit: Optional[int] = None,
         couple_threshold: Optional[int] = None,
         rng: Optional[Lfsr] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.geometry = geometry
         self.mapper = geometry.mapper
         self.rng = rng if rng is not None else Lfsr()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         assoc = geometry.associativity
         num_sets = geometry.num_sets
         if num_sets < 2:
@@ -193,6 +197,15 @@ class SbcCache:
         """Displace a source victim into the destination at MRU."""
         dest = self.association.partner_of(source_index)
         self.stats.spills += 1
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(Spill(
+                access=self.stats.accesses,
+                set_index=source_index,
+                giver=dest,
+                tag=tag,
+                dirty=dirty,
+            ))
         free = self._free[dest]
         if free:
             way = free.pop()
@@ -220,6 +233,15 @@ class SbcCache:
         key = self._way_key[set_index][way]
         del self._lookup[set_index][key]
         self._way_key[set_index][way] = None
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(Eviction(
+                access=self.stats.accesses,
+                set_index=set_index,
+                tag=key >> 1,
+                dirty=self._dirty[set_index][way],
+                cooperative=bool(key & 1),
+            ))
         self._dirty[set_index][way] = False
         self._order[set_index].remove(way)
         self.stats.evictions += 1
@@ -248,6 +270,11 @@ class SbcCache:
         self._role[dest] = _ROLE_DEST
         self.heap.remove(source_index)
         self.stats.couplings += 1
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(Coupling(
+                access=self.stats.accesses, set_index=source_index, giver=dest
+            ))
         return dest
 
     def _decouple(self, source_index: int, dest_index: int) -> None:
@@ -255,6 +282,13 @@ class SbcCache:
         self._role[source_index] = _ROLE_NONE
         self._role[dest_index] = _ROLE_NONE
         self.stats.decouplings += 1
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(Decoupling(
+                access=self.stats.accesses,
+                set_index=source_index,
+                giver=dest_index,
+            ))
 
     # ------------------------------------------------------------------
     # Inspection

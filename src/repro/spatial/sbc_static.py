@@ -23,6 +23,8 @@ from repro.cache.geometry import CacheGeometry
 from repro.common.errors import ConfigError
 from repro.common.rng import Lfsr
 from repro.common.stats import CacheStats
+from repro.obs.events import Eviction, Spill
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 
 class StaticSbcCache:
@@ -35,12 +37,14 @@ class StaticSbcCache:
         geometry: CacheGeometry,
         saturation_limit: Optional[int] = None,
         rng: Optional[Lfsr] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if geometry.num_sets < 2:
             raise ConfigError("static SBC needs at least two sets")
         self.geometry = geometry
         self.mapper = geometry.mapper
         self.rng = rng if rng is not None else Lfsr()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         assoc = geometry.associativity
         num_sets = geometry.num_sets
         self.saturation_limit = (
@@ -152,6 +156,15 @@ class StaticSbcCache:
 
     def _spill(self, source: int, partner: int, tag: int, dirty: bool) -> None:
         self.stats.spills += 1
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(Spill(
+                access=self.stats.accesses,
+                set_index=source,
+                giver=partner,
+                tag=tag,
+                dirty=dirty,
+            ))
         free = self._free[partner]
         if free:
             way = free.pop()
@@ -177,6 +190,15 @@ class StaticSbcCache:
         key = self._way_key[set_index][way]
         del self._lookup[set_index][key]
         self._way_key[set_index][way] = None
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(Eviction(
+                access=self.stats.accesses,
+                set_index=set_index,
+                tag=key >> 1,
+                dirty=self._dirty[set_index][way],
+                cooperative=bool(key & 1),
+            ))
         self._dirty[set_index][way] = False
         self._order[set_index].remove(way)
         self.stats.evictions += 1

@@ -34,6 +34,8 @@ from repro.cache.geometry import CacheGeometry
 from repro.common.errors import ConfigError, SimulationError
 from repro.common.rng import Lfsr
 from repro.common.stats import CacheStats
+from repro.obs.events import Eviction
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 _INVALID = -1
 
@@ -49,6 +51,7 @@ class VwayCache:
         tag_ratio: int = 2,
         reuse_bits: int = 2,
         rng: Optional[Lfsr] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if tag_ratio < 2:
             raise ConfigError(f"tag_ratio must be >= 2, got {tag_ratio}")
@@ -57,6 +60,7 @@ class VwayCache:
         self.geometry = geometry
         self.mapper = geometry.mapper
         self.rng = rng if rng is not None else Lfsr()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.tag_ratio = tag_ratio
         self.max_reuse = (1 << reuse_bits) - 1
         self.stats = CacheStats()
@@ -121,7 +125,7 @@ class VwayCache:
             old_tag = self._entry_tag[entry]
             del self._tag_to_entry[set_index][old_tag]
             line = self._entry_line[entry]
-            self._retire_line(line)
+            self._retire_line(line, set_index, old_tag)
         self._entry_tag[entry] = tag
         self._entry_line[entry] = line
         self._tag_to_entry[set_index][tag] = entry
@@ -131,12 +135,21 @@ class VwayCache:
         self._line_dirty[line] = is_write
         return AccessKind.MISS
 
-    def _retire_line(self, line: int) -> None:
+    def _retire_line(self, line: int, set_index: int, tag: int) -> None:
         """Account for evicting the block currently held by ``line``."""
         self.stats.evictions += 1
-        if self._line_dirty[line]:
+        dirty = self._line_dirty[line]
+        if dirty:
             self.stats.writebacks += 1
             self._line_dirty[line] = False
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(Eviction(
+                access=self.stats.accesses,
+                set_index=set_index,
+                tag=tag,
+                dirty=dirty,
+            ))
 
     def _allocate_line(self) -> int:
         """Hand out a data line, running reuse replacement if needed."""
@@ -163,7 +176,7 @@ class VwayCache:
         self._entry_tag[owner] = _INVALID
         self._entry_line[owner] = _INVALID
         self._free_entries[owner_set].append(owner)
-        self._retire_line(line)
+        self._retire_line(line, owner_set, owner_tag)
         self._line_entry[line] = _INVALID
         return line
 

@@ -68,6 +68,56 @@ class TestCommands:
         assert main(["overhead"]) == 0
         assert "3.1" in capsys.readouterr().out.replace("3.16", "3.1")
 
+    def test_trace(self, capsys, tmp_path):
+        events_path = tmp_path / "events.jsonl"
+        code = main([
+            "trace", "STEM", "omnetpp", "--sets", "64",
+            "--length", "20000", "--events", str(events_path),
+            "--manifest",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "events emitted" in output
+        assert "content_hash" in output
+        # The JSONL log is parseable and carries several event kinds.
+        from repro.obs import load_events
+
+        events = load_events(events_path)
+        assert events
+        assert len({event.kind for event in events}) >= 3
+
+    def test_trace_buffer_bound(self, capsys):
+        code = main([
+            "trace", "STEM", "vpr", "--sets", "32",
+            "--length", "8000", "--buffer", "100",
+        ])
+        assert code == 0
+        assert "events emitted" in capsys.readouterr().out
+
+    def test_run_profile(self, capsys, tmp_path):
+        report = tmp_path / "bench.json"
+        code = main([
+            "run", "STEM", "vpr", "--sets", "32", "--length", "8000",
+            "--profile", "--profile-json", str(report),
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "acc/sec" in output
+        assert "wall-clock" in output
+        import json
+
+        document = json.loads(report.read_text())
+        assert document["benchmarks"][0]["group"] == "STEM"
+
+    def test_compare_profile(self, capsys):
+        code = main([
+            "compare", "vpr", "--schemes", "LRU,STEM",
+            "--sets", "32", "--length", "8000", "--profile",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "acc/sec" in output
+
     def test_figure_table3(self, capsys):
         assert main(["figure", "table3"]) == 0
         assert "Table 3" in capsys.readouterr().out
@@ -75,3 +125,7 @@ class TestCommands:
     def test_figure_figure2(self, capsys):
         assert main(["figure", "figure2"]) == 0
         assert "Figure 2" in capsys.readouterr().out
+
+    def test_figure_profile(self, capsys):
+        assert main(["figure", "table3", "--profile"]) == 0
+        assert "wall-clock" in capsys.readouterr().out
