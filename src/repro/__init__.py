@@ -16,7 +16,9 @@ The package builds the paper's whole experimental stack in pure Python:
 * :mod:`repro.sim` / :mod:`repro.experiments` — the runner and one
   module per paper figure/table;
 * :mod:`repro.obs` — observability: typed event tracing, run
-  manifests/provenance, and hot-loop profiling.
+  manifests/provenance, and hot-loop profiling;
+* :mod:`repro.resilience` — deterministic fault injection, safe-mode
+  degradation, and the crash-tolerant run harness.
 
 Quickstart::
 
@@ -49,6 +51,7 @@ from repro.obs import (
     summarize_events,
 )
 from repro.policies import available_policies, make_policy
+from repro.resilience import FaultPlan, RetryPolicy, run_fault_campaign
 from repro.sim import (
     ExperimentScale,
     PAPER_SCHEMES,
@@ -73,10 +76,12 @@ __all__ = [
     "CacheGeometry",
     "CacheHierarchy",
     "ExperimentScale",
+    "FaultPlan",
     "JsonlSink",
     "MainMemory",
     "NULL_TRACER",
     "PAPER_SCHEMES",
+    "RetryPolicy",
     "RingBufferSink",
     "RunManifest",
     "RunProfiler",
@@ -99,6 +104,7 @@ __all__ = [
     "make_policy",
     "make_scheme",
     "run_benchmarks",
+    "run_fault_campaign",
     "run_trace",
     "summarize_events",
     "__version__",

@@ -14,6 +14,7 @@ from typing import Callable, List, Optional
 from repro.cache.access import AccessKind
 from repro.cache.block import BlockView
 from repro.cache.geometry import CacheGeometry
+from repro.common.errors import InvariantViolation
 from repro.common.rng import Lfsr
 from repro.common.stats import CacheStats
 from repro.obs.events import Eviction
@@ -179,18 +180,25 @@ class SetAssociativeCache:
         self.stats = CacheStats()
 
     def check_invariants(self) -> None:
-        """Assert internal consistency; used by property tests."""
+        """Raise :class:`InvariantViolation` on internal inconsistency.
+
+        Used by property tests and by safe-mode sweeps; raising (rather
+        than ``assert``) keeps the checks alive under ``python -O``.
+        """
         for set_index in range(self.geometry.num_sets):
             table = self._tag_to_way[set_index]
             ways = list(table.values())
-            assert len(ways) == len(set(ways)), (
-                f"duplicate way mapping in set {set_index}"
-            )
-            for tag, way in table.items():
-                assert self._way_tag[set_index][way] == tag, (
-                    f"tag/way mismatch in set {set_index} way {way}"
+            if len(ways) != len(set(ways)):
+                raise InvariantViolation(
+                    f"duplicate way mapping in set {set_index}"
                 )
+            for tag, way in table.items():
+                if self._way_tag[set_index][way] != tag:
+                    raise InvariantViolation(
+                        f"tag/way mismatch in set {set_index} way {way}"
+                    )
             occupancy = len(table) + len(self._free_ways[set_index])
-            assert occupancy == self.geometry.associativity, (
-                f"set {set_index}: valid+free != associativity"
-            )
+            if occupancy != self.geometry.associativity:
+                raise InvariantViolation(
+                    f"set {set_index}: valid+free != associativity"
+                )

@@ -6,6 +6,7 @@ Commands
 ``compare``  run several schemes on one benchmark side by side
 ``trace``    run one scheme with event tracing (JSONL log + aggregates)
 ``sweep``    MPKI vs associativity for chosen schemes
+``faults``   deterministic fault-injection campaign + degradation report
 ``profile``  Figure 1-style capacity-demand profile + classification
 ``figure``   regenerate one of the paper's figures/tables by name
 ``overhead`` print the Table 3 storage budget
@@ -45,6 +46,8 @@ from repro.obs.profile import PhaseTimer, RunProfiler
 from repro.obs.sinks import JsonlSink, RingBufferSink
 from repro.obs.tracer import Tracer
 from repro.obs.inspect import summarize_events
+from repro.resilience.campaign import run_fault_campaign
+from repro.resilience.faults import FAULT_TARGETS
 from repro.sim.config import ExperimentScale, available_schemes, make_scheme
 from repro.sim.results import format_series
 from repro.sim.runner import associativity_sweep
@@ -199,6 +202,36 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Default campaign: a spread of counter, tag, table, heap and bus faults.
+_DEFAULT_FAULT_PLAN = "sc_s:2,sc_t:2,shadow:4,association:1,heap:2,trace:4"
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    scale = _scale_from(args)
+    tracer: Optional[Tracer] = None
+    jsonl: Optional[JsonlSink] = None
+    if args.events:
+        jsonl = JsonlSink(args.events)
+        tracer = Tracer(jsonl)
+    report = run_fault_campaign(
+        args.scheme,
+        args.benchmark,
+        plan=args.plan,
+        seed=args.seed,
+        scale=scale,
+        tracer=tracer,
+    )
+    if tracer is not None:
+        tracer.close()
+    print(report.render())
+    if jsonl is not None:
+        print(f"wrote {jsonl.total_recorded} events to {jsonl.path}")
+    if args.json:
+        report.save(args.json)
+        print(f"wrote campaign report to {args.json}")
+    return 0
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     scale = _scale_from(args)
     trace = make_benchmark_trace(
@@ -311,6 +344,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_scale_arguments(sweep_parser)
     sweep_parser.set_defaults(handler=_cmd_sweep)
+
+    faults_parser = commands.add_parser(
+        "faults",
+        help="run a deterministic fault-injection campaign",
+        description=(
+            "Inject faults from a plan (targets: "
+            + ", ".join(FAULT_TARGETS)
+            + "; syntax target[:count][@start[-stop]], comma-separated) "
+            "and report the degradation versus the fault-free run."
+        ),
+    )
+    faults_parser.add_argument("scheme")
+    faults_parser.add_argument("benchmark", choices=benchmark_names())
+    faults_parser.add_argument(
+        "--plan", default=_DEFAULT_FAULT_PLAN,
+        help=f"fault plan (default {_DEFAULT_FAULT_PLAN!r})"
+    )
+    faults_parser.add_argument(
+        "--seed", type=int, default=0xACE1,
+        help="campaign seed: scheme LFSR + fault schedule (default 0xACE1)"
+    )
+    faults_parser.add_argument(
+        "--events", metavar="PATH", default=None,
+        help="write fault/safe-mode events as JSONL to PATH"
+    )
+    faults_parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the campaign report as JSON to PATH"
+    )
+    _add_scale_arguments(faults_parser)
+    faults_parser.set_defaults(handler=_cmd_faults)
 
     profile_parser = commands.add_parser(
         "profile", help="capacity-demand profile + classification"

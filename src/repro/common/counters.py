@@ -63,6 +63,19 @@ class SaturatingCounter:
             )
         self._value = value
 
+    def flip_bit(self, bit: int) -> None:
+        """Toggle one stored bit — the fault-injection surface.
+
+        Models a single-event upset in the counter register; the result
+        is always within range, so a flipped counter silently steers
+        classification decisions rather than crashing the controller.
+        """
+        if not 0 <= bit < self.bits:
+            raise ConfigError(
+                f"bit {bit} out of range for a {self.bits}-bit counter"
+            )
+        self._value ^= 1 << bit
+
     def __repr__(self) -> str:
         return f"SaturatingCounter(bits={self.bits}, value={self._value})"
 

@@ -30,3 +30,23 @@ class SimulationError(ReproError):
     Seeing this exception indicates a bug in the simulator rather than a
     user mistake; the message carries enough state to reproduce it.
     """
+
+
+class InvariantViolation(SimulationError):
+    """A structural consistency check failed.
+
+    Raised (never ``assert``-ed, so the checks survive ``python -O``) by
+    every scheme's ``check_invariants``.  Under STEM's safe mode the
+    controller catches this, repairs the affected sets, and degrades to
+    per-set LRU instead of crashing the run.
+    """
+
+
+class WatchdogTimeout(ReproError):
+    """A simulation exceeded its per-run wall-clock deadline.
+
+    Raised cooperatively by :func:`~repro.sim.simulator.run_trace` when
+    a ``deadline_seconds`` budget is set; the crash-tolerant harness
+    records it as a :class:`~repro.sim.results.RunFailure` so one hung
+    run cannot stall an experiment grid.
+    """

@@ -1,0 +1,60 @@
+"""Crash-safe filesystem helpers: write-then-rename persistence.
+
+A process killed mid-write must never leave a half-written manifest,
+trace, or report where the next tool expects a complete file.  Every
+archival write in the package therefore goes through
+:func:`atomic_write`: the content lands in a temporary sibling file,
+is fsync'ed, and is moved over the destination with :func:`os.replace`
+— atomic on POSIX and Windows — so readers only ever observe the old
+file or the complete new one.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator, TextIO, Union
+
+
+@contextmanager
+def atomic_write(
+    path: Union[str, Path], encoding: str = "utf-8"
+) -> Iterator[TextIO]:
+    """Yield a text handle whose content replaces ``path`` atomically.
+
+    The temporary file lives in the destination directory (``rename``
+    across filesystems is not atomic), is flushed and fsync'ed before
+    the rename, and is removed if the caller raises.
+    """
+    path = Path(path)
+    parent = path.parent if str(path.parent) else Path(".")
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(parent), prefix=path.name + ".", suffix=".tmp"
+    )
+    handle = os.fdopen(fd, "w", encoding=encoding)
+    try:
+        yield handle
+        handle.flush()
+        os.fsync(handle.fileno())
+        handle.close()
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            handle.close()
+        except OSError:
+            pass
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_text(
+    path: Union[str, Path], text: str, encoding: str = "utf-8"
+) -> None:
+    """Atomically replace ``path`` with ``text`` (write-then-rename)."""
+    with atomic_write(path, encoding=encoding) as handle:
+        handle.write(text)

@@ -36,6 +36,7 @@ class CacheStats:
     policy_swaps: int = 0     # SC_T-triggered LRU<->BIP swaps (STEM only)
     couplings: int = 0
     decouplings: int = 0
+    safe_mode_entries: int = 0  # sets degraded to LRU after corruption
     total_latency_cycles: int = 0
 
     extra: Dict[str, int] = field(default_factory=dict)

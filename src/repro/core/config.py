@@ -28,6 +28,14 @@ class StemConfig:
       coupling machinery but never swaps policies; temporal-only STEM
       duels LRU/BIP per set but never couples.  Together they quantify
       the paper's thesis that *both* dimensions are required.
+    * ``safe_mode`` — graceful degradation under state corruption (the
+      resilience layer's contract): structural inconsistencies detected
+      on the access path or by the periodic invariant sweep trigger a
+      repair that decouples the affected pair, resets its SCDM state and
+      pins the set to plain LRU, instead of crashing the run.
+    * ``safe_mode_check_interval`` — accesses between periodic full
+      invariant sweeps while safe mode is active (0 disables the sweep;
+      corruption is then only caught when it breaks the access path).
     """
 
     counter_bits: int = 4
@@ -40,6 +48,8 @@ class StemConfig:
     enable_spatial: bool = True
     enable_temporal: bool = True
     hash_seed: int = 0xACE1
+    safe_mode: bool = False
+    safe_mode_check_interval: int = 2048
 
     def __post_init__(self) -> None:
         if self.counter_bits <= 0:
@@ -61,6 +71,11 @@ class StemConfig:
         if self.bip_throttle_bits < 0:
             raise ConfigError(
                 f"bip_throttle_bits must be >= 0, got {self.bip_throttle_bits}"
+            )
+        if self.safe_mode_check_interval < 0:
+            raise ConfigError(
+                "safe_mode_check_interval must be >= 0, got "
+                f"{self.safe_mode_check_interval}"
             )
 
 

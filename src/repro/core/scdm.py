@@ -60,6 +60,17 @@ class SetMonitor:
         """An off-chip eviction: file the victim's signature."""
         self.shadow.insert(signature, at_mru)
 
+    def reset(self) -> None:
+        """Return the monitor to its power-on state.
+
+        Used by STEM's safe-mode recovery: after detected corruption
+        the set's capacity-demand history is untrustworthy, so both
+        counters restart at zero and the shadow set is emptied.
+        """
+        self.sc_s.reset()
+        self.sc_t.reset()
+        self.shadow = ShadowSet(self.shadow.capacity)
+
     # ------------------------------------------------------------------
     # Classification read by the controller
     # ------------------------------------------------------------------

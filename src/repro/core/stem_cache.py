@@ -21,12 +21,12 @@ STEM, SBC, V-Way and the plain policy caches interchangeably.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.cache.access import AccessKind
 from repro.cache.block import BlockView, ShadowView
 from repro.cache.geometry import CacheGeometry
-from repro.common.errors import ConfigError
+from repro.common.errors import ConfigError, InvariantViolation, SimulationError
 from repro.common.hashing import H3Hash
 from repro.common.rng import Lfsr
 from repro.common.stats import CacheStats
@@ -37,6 +37,7 @@ from repro.obs.events import (
     Decoupling,
     Eviction,
     PolicySwap,
+    SafeModeEntry,
     ShadowHit,
     Spill,
     SpillReject,
@@ -51,6 +52,13 @@ _MODE_BIP = 1
 _UNCOUPLED = 0
 _TAKER = 1
 _GIVER = 2
+
+#: Exception classes the safe-mode access path treats as recoverable
+#: corruption symptoms.  Structured invariant errors are the designed
+#: signal; the builtin errors cover corruption that derails indexing
+#: before any invariant check runs (e.g. a glitched association entry
+#: sending a probe to a set that does not exist).
+_RECOVERABLE = (SimulationError, IndexError, KeyError, ValueError, TypeError)
 
 
 class StemCache:
@@ -108,6 +116,12 @@ class StemCache:
         self.heap = GiverHeap(self.config.heap_capacity)
         self._coupled_role: List[int] = [_UNCOUPLED] * num_sets
         self._cc_count: List[int] = [0] * num_sets
+        # Resilience state: sets pinned to plain LRU after recovery.
+        self._in_safe_mode: List[bool] = [False] * num_sets
+        if self.config.safe_mode:
+            # Shadow the class method with the guarded path so the
+            # default configuration pays zero overhead per access.
+            self.access = self._guarded_access  # type: ignore[method-assign]
 
     # ------------------------------------------------------------------
     # Access path
@@ -163,7 +177,7 @@ class StemCache:
                 ))
         self._fill(set_index, tag, is_write)
         if monitor.wants_policy_swap:
-            if self.config.enable_temporal:
+            if self.config.enable_temporal and not self._in_safe_mode[set_index]:
                 self._mode[set_index] ^= 1
                 stats.policy_swaps += 1
                 tracer = self.tracer
@@ -205,6 +219,7 @@ class StemCache:
         if (
             self.config.enable_spatial
             and self._coupled_role[set_index] == _UNCOUPLED
+            and not self._in_safe_mode[set_index]
             and monitor.is_taker
         ):
             # "When an uncoupled taker set needs to evict a block, it
@@ -338,13 +353,22 @@ class StemCache:
     def _maybe_post_giver(self, set_index: int, monitor: SetMonitor) -> None:
         if not self.config.enable_spatial:
             return
-        if self._coupled_role[set_index] == _UNCOUPLED and monitor.is_giver:
+        if (
+            self._coupled_role[set_index] == _UNCOUPLED
+            and not self._in_safe_mode[set_index]
+            and monitor.is_giver
+        ):
             self.heap.offer(set_index, monitor.saturation)
 
     def _try_couple(self, taker: int) -> Optional[int]:
         def _valid(candidate: int) -> bool:
+            # The bounds check tolerates glitched heap slots naming
+            # nonexistent sets — lazy validation drops them as stale.
             return (
-                candidate != taker
+                isinstance(candidate, int)
+                and 0 <= candidate < self.geometry.num_sets
+                and candidate != taker
+                and not self._in_safe_mode[candidate]
                 and self._coupled_role[candidate] == _UNCOUPLED
                 and self.monitors[candidate].is_giver
             )
@@ -374,6 +398,186 @@ class StemCache:
             tracer.emit(Decoupling(
                 access=self.stats.accesses, set_index=taker, giver=giver
             ))
+
+    # ------------------------------------------------------------------
+    # Safe mode: detect corruption, repair, degrade to per-set LRU
+    # ------------------------------------------------------------------
+
+    def _guarded_access(self, address: int, is_write: bool = False) -> AccessKind:
+        """Access path installed when ``config.safe_mode`` is set.
+
+        Wraps the normal controller flow; a recoverable exception (the
+        symptom of corrupted state) triggers :meth:`_heal`, which
+        repairs every inconsistent set, and the access is retried on the
+        now-consistent structures.  Periodically (every
+        ``safe_mode_check_interval`` accesses) the full invariant sweep
+        runs so silent corruption — a glitched association entry that
+        still *looks* like a pairing — is bounded in lifetime.
+        """
+        stats = self.stats
+        before = (
+            stats.accesses, stats.hits, stats.misses,
+            stats.misses_single_probe, stats.misses_double_probe,
+            stats.local_hits, stats.cooperative_hits,
+        )
+        try:
+            kind = StemCache.access(self, address, is_write)
+        except _RECOVERABLE as exc:
+            # Rewind the primary access counters so the retried access
+            # is not double-counted (side counters stay best-effort).
+            (stats.accesses, stats.hits, stats.misses,
+             stats.misses_single_probe, stats.misses_double_probe,
+             stats.local_hits, stats.cooperative_hits) = before
+            self._heal(f"{type(exc).__name__}: {exc}")
+            try:
+                kind = StemCache.access(self, address, is_write)
+            except _RECOVERABLE as retry_exc:
+                # Healing restores full consistency, so a second failure
+                # should be impossible; repair again and charge a miss.
+                self._heal(f"retry: {type(retry_exc).__name__}: {retry_exc}")
+                stats.accesses += 1
+                stats.misses += 1
+                stats.misses_single_probe += 1
+                kind = AccessKind.MISS
+        interval = self.config.safe_mode_check_interval
+        if interval and stats.accesses % interval == 0:
+            try:
+                self.check_invariants()
+            except InvariantViolation as exc:
+                self._heal(str(exc))
+        return kind
+
+    def _heal(self, reason: str) -> None:
+        """Repair every structurally inconsistent set.
+
+        The association relation is repaired first (out-of-range or
+        asymmetric entries reset to identity), then each set is
+        validated; every suspect — and its partner, which holds or owns
+        the pair's cooperative blocks — is put into safe mode.
+        """
+        suspects = set(self.association.repair())
+        num_sets = self.geometry.num_sets
+        for set_index in range(num_sets):
+            if not self._set_consistent(set_index):
+                suspects.add(set_index)
+        for set_index in list(suspects):
+            partner = self.association.raw_entry(set_index)
+            if (
+                isinstance(partner, int)
+                and 0 <= partner < num_sets
+                and partner != set_index
+            ):
+                suspects.add(partner)
+        for set_index in sorted(suspects):
+            self._enter_safe_mode(set_index, reason)
+
+    def _set_consistent(self, set_index: int) -> bool:
+        """Light structural validation of one set (never raises)."""
+        assoc = self.geometry.associativity
+        table = self._lookup[set_index]
+        if len(table) + len(self._free[set_index]) != assoc:
+            return False
+        for key, way in table.items():
+            if not isinstance(way, int) or not 0 <= way < assoc:
+                return False
+            if self._way_key[set_index][way] != key:
+                return False
+        if sorted(self._order[set_index]) != sorted(table.values()):
+            return False
+        cc_blocks = sum(1 for key in table if key & 1)
+        role = self._coupled_role[set_index]
+        coupled = self.association.is_coupled(set_index)
+        if role == _GIVER:
+            return (
+                coupled
+                and cc_blocks == self._cc_count[set_index]
+                and cc_blocks > 0
+            )
+        if cc_blocks or self._cc_count[set_index]:
+            return False
+        if role == _TAKER:
+            partner = self.association.partner_of(set_index)
+            return partner is not None and self._coupled_role[partner] == _GIVER
+        return not coupled
+
+    def _enter_safe_mode(self, set_index: int, reason: str) -> None:
+        """Dissolve any pairing, rebuild the set, pin it to plain LRU."""
+        partner = self.association.raw_entry(set_index)
+        if partner != set_index:
+            self.association.force_entry(set_index, set_index)
+            if (
+                isinstance(partner, int)
+                and 0 <= partner < self.geometry.num_sets
+                and self.association.raw_entry(partner) == set_index
+            ):
+                self.association.force_entry(partner, partner)
+        self._coupled_role[set_index] = _UNCOUPLED
+        self._rebuild_set(set_index)
+        self.monitors[set_index].reset()
+        self._mode[set_index] = _MODE_LRU
+        self.heap.remove(set_index)
+        self._in_safe_mode[set_index] = True
+        self.stats.safe_mode_entries += 1
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(SafeModeEntry(
+                access=self.stats.accesses,
+                set_index=set_index,
+                reason=reason,
+            ))
+
+    def _rebuild_set(self, set_index: int) -> None:
+        """Reconstruct a set's derived state from its lookup table.
+
+        The lookup table is the root of truth: cooperative entries are
+        dropped (the pairing is gone, so they are orphans), invalid or
+        duplicate way mappings are discarded, and the recency order is
+        preserved where it is still meaningful.
+        """
+        assoc = self.geometry.associativity
+        table = self._lookup[set_index]
+        old_dirty = self._dirty[set_index]
+        keep: Dict[int, int] = {}  # way -> key
+        for key in sorted(table):
+            way = table[key]
+            if not isinstance(way, int) or not 0 <= way < assoc:
+                continue
+            if key & 1:
+                # Orphaned cooperative block leaving the chip.
+                self.stats.evictions += 1
+                if old_dirty[way]:
+                    self.stats.writebacks += 1
+                continue
+            if way in keep:
+                continue
+            keep[way] = key
+        table.clear()
+        way_key: List[Optional[int]] = [None] * assoc
+        dirty = [False] * assoc
+        for way, key in keep.items():
+            table[key] = way
+            way_key[way] = key
+            dirty[way] = bool(old_dirty[way])
+        self._way_key[set_index] = way_key
+        self._dirty[set_index] = dirty
+        self._free[set_index] = [
+            way for way in range(assoc - 1, -1, -1) if way not in keep
+        ]
+        order = [
+            way for way in dict.fromkeys(self._order[set_index])
+            if way in keep
+        ]
+        order.extend(way for way in sorted(keep) if way not in order)
+        self._order[set_index] = order
+        self._cc_count[set_index] = 0
+
+    def safe_mode_sets(self) -> List[int]:
+        """Indices of sets currently degraded to plain LRU."""
+        return [
+            set_index
+            for set_index, flagged in enumerate(self._in_safe_mode)
+            if flagged
+        ]
 
     # ------------------------------------------------------------------
     # Inspection
@@ -415,31 +619,60 @@ class StemCache:
         self.stats = CacheStats()
 
     def check_invariants(self) -> None:
-        """Assert structural consistency; used by property tests."""
+        """Verify structural consistency; used by property tests.
+
+        Raises :class:`InvariantViolation` on the first inconsistency —
+        never ``assert`` — so the checks work under ``python -O`` and
+        safe mode can catch and repair instead of crashing.
+        """
         self.association.check_invariants()
         for set_index in range(self.geometry.num_sets):
             table = self._lookup[set_index]
             cc_blocks = sum(1 for key in table if key & 1)
             role = self._coupled_role[set_index]
             if role == _GIVER:
-                assert cc_blocks == self._cc_count[set_index], (
-                    f"set {set_index}: cc bookkeeping mismatch"
-                )
-                assert self.association.is_coupled(set_index)
-                assert self._cc_count[set_index] > 0, (
-                    f"set {set_index}: coupled giver with no cc blocks"
-                )
-            else:
-                assert cc_blocks == 0, (
+                if cc_blocks != self._cc_count[set_index]:
+                    raise InvariantViolation(
+                        f"set {set_index}: cc bookkeeping mismatch "
+                        f"({cc_blocks} blocks vs count "
+                        f"{self._cc_count[set_index]})"
+                    )
+                if not self.association.is_coupled(set_index):
+                    raise InvariantViolation(
+                        f"set {set_index}: giver role without a pairing"
+                    )
+                if self._cc_count[set_index] <= 0:
+                    raise InvariantViolation(
+                        f"set {set_index}: coupled giver with no cc blocks"
+                    )
+            elif cc_blocks != 0:
+                raise InvariantViolation(
                     f"set {set_index}: cooperative blocks in a non-giver"
                 )
             if role == _TAKER:
                 partner = self.association.partner_of(set_index)
-                assert partner is not None
-                assert self._coupled_role[partner] == _GIVER
+                if partner is None:
+                    raise InvariantViolation(
+                        f"set {set_index}: taker role without a pairing"
+                    )
+                if self._coupled_role[partner] != _GIVER:
+                    raise InvariantViolation(
+                        f"set {set_index}: partner {partner} is not a giver"
+                    )
             occupancy = len(table) + len(self._free[set_index])
-            assert occupancy == self.geometry.associativity
-            assert sorted(self._order[set_index]) == sorted(table.values())
-            assert len(self.monitors[set_index].shadow) <= (
+            if occupancy != self.geometry.associativity:
+                raise InvariantViolation(
+                    f"set {set_index}: occupancy {occupancy} != "
+                    f"associativity {self.geometry.associativity}"
+                )
+            if sorted(self._order[set_index]) != sorted(table.values()):
+                raise InvariantViolation(
+                    f"set {set_index}: recency order disagrees with the "
+                    "lookup table"
+                )
+            if len(self.monitors[set_index].shadow) > (
                 self.geometry.associativity
-            )
+            ):
+                raise InvariantViolation(
+                    f"set {set_index}: shadow set exceeds associativity"
+                )

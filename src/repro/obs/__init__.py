@@ -22,7 +22,9 @@ from repro.obs.events import (
     Coupling,
     Decoupling,
     Eviction,
+    FaultInjected,
     PolicySwap,
+    SafeModeEntry,
     ShadowHit,
     Spill,
     SpillReject,
@@ -41,7 +43,12 @@ from repro.obs.inspect import (
 )
 from repro.obs.manifest import RunManifest, build_manifest, describe_scheme
 from repro.obs.profile import PhaseTimer, ProfileRecord, RunProfiler
-from repro.obs.sinks import JsonlSink, RingBufferSink, load_events
+from repro.obs.sinks import (
+    JsonlSink,
+    RingBufferSink,
+    load_events,
+    load_events_report,
+)
 from repro.obs.tracer import NULL_TRACER, Tracer, TraceSink
 
 __all__ = [
@@ -50,6 +57,7 @@ __all__ = [
     "CouplingSpan",
     "Decoupling",
     "Eviction",
+    "FaultInjected",
     "JsonlSink",
     "NULL_TRACER",
     "PhaseTimer",
@@ -58,6 +66,7 @@ __all__ = [
     "RingBufferSink",
     "RunManifest",
     "RunProfiler",
+    "SafeModeEntry",
     "ShadowHit",
     "Spill",
     "SpillReject",
@@ -71,6 +80,7 @@ __all__ = [
     "event_counts",
     "event_from_dict",
     "load_events",
+    "load_events_report",
     "per_set_counts",
     "spill_fanout",
     "summarize_events",

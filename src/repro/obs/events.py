@@ -118,6 +118,31 @@ class ShadowHit(TraceEvent):
     signature: int = 0
 
 
+@dataclass(frozen=True, slots=True)
+class FaultInjected(TraceEvent):
+    """A fault campaign corrupted simulated state.
+
+    ``target`` names the structure (``sc_s``, ``sc_t``, ``shadow``,
+    ``association``, ``heap``, ``trace``); ``detail`` is a compact,
+    deterministic description of exactly what was flipped.  ``set_index``
+    is the affected set, or -1 for structures without a home set.
+    """
+
+    kind: ClassVar[str] = "fault_injected"
+
+    target: str = ""
+    detail: str = ""
+
+
+@dataclass(frozen=True, slots=True)
+class SafeModeEntry(TraceEvent):
+    """Safe mode repaired ``set_index`` and pinned it to plain LRU."""
+
+    kind: ClassVar[str] = "safe_mode"
+
+    reason: str = ""
+
+
 #: Every concrete event type, keyed by its ``kind`` tag.
 EVENT_TYPES: Dict[str, Type[TraceEvent]] = {
     cls.kind: cls
@@ -129,6 +154,8 @@ EVENT_TYPES: Dict[str, Type[TraceEvent]] = {
         Decoupling,
         PolicySwap,
         ShadowHit,
+        FaultInjected,
+        SafeModeEntry,
     )
 }
 

@@ -17,9 +17,11 @@ import json
 import platform
 import sys
 from dataclasses import asdict, dataclass, field, is_dataclass
-from typing import Any, Dict, Optional
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
 
 from repro._version import __version__
+from repro.common.io import atomic_write_text
 
 #: Scalar attribute types copied into a scheme description.
 _SCALARS = (int, float, bool, str)
@@ -108,6 +110,18 @@ class RunManifest:
         record["wall_clock_seconds"] = self.wall_clock_seconds
         record["accesses_per_second"] = self.accesses_per_second
         return record
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the manifest as JSON, atomically (write-then-rename).
+
+        A manifest is the provenance record other tooling trusts, so a
+        crash mid-save must leave either the previous complete file or
+        the new complete file — never a truncated one.
+        """
+        atomic_write_text(
+            path,
+            json.dumps(self.as_dict(), indent=2, sort_keys=True) + "\n",
+        )
 
 
 def _content_hash(payload: Dict[str, Any]) -> str:

@@ -23,6 +23,8 @@ from pathlib import Path
 from time import perf_counter
 from typing import Any, Dict, List, Optional, Union
 
+from repro.common.io import atomic_write_text
+
 
 @dataclass(frozen=True)
 class ProfileRecord:
@@ -152,8 +154,8 @@ class RunProfiler:
         }
 
     def save_bench_json(self, path: Union[str, Path]) -> None:
-        """Write :meth:`to_bench_json` to ``path``."""
-        Path(path).write_text(
+        """Write :meth:`to_bench_json` to ``path`` atomically."""
+        atomic_write_text(
+            path,
             json.dumps(self.to_bench_json(), indent=2, sort_keys=True),
-            encoding="utf-8",
         )

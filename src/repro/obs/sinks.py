@@ -9,9 +9,10 @@ typed events — the archival format the ``repro trace`` command writes.
 from __future__ import annotations
 
 import json
+import warnings
 from collections import deque
 from pathlib import Path
-from typing import Deque, List, Optional, TextIO, Union
+from typing import Deque, List, Optional, TextIO, Tuple, Union
 
 from repro.common.errors import ConfigError
 from repro.obs.events import TraceEvent, event_from_dict
@@ -55,10 +56,23 @@ class RingBufferSink:
 
 
 class JsonlSink:
-    """Stream events to a JSON-lines file (one event dict per line)."""
+    """Stream events to a JSON-lines file (one event dict per line).
 
-    def __init__(self, path: Union[str, Path]) -> None:
+    ``flush_every=N`` flushes the OS buffer every N events so a crashed
+    run loses at most N events (plus, at worst, one truncated final
+    line, which :func:`load_events` can be asked to tolerate); the
+    default keeps normal Python buffering for throughput.
+    """
+
+    def __init__(
+        self, path: Union[str, Path], flush_every: int = 0
+    ) -> None:
+        if flush_every < 0:
+            raise ConfigError(
+                f"flush_every must be >= 0, got {flush_every}"
+            )
         self.path = Path(path)
+        self.flush_every = flush_every
         self._handle: Optional[TextIO] = self.path.open("w", encoding="utf-8")
         self.total_recorded = 0
 
@@ -68,6 +82,8 @@ class JsonlSink:
             raise ConfigError(f"JsonlSink {self.path} is closed")
         self._handle.write(json.dumps(event.as_dict()) + "\n")
         self.total_recorded += 1
+        if self.flush_every and self.total_recorded % self.flush_every == 0:
+            self._handle.flush()
 
     def close(self) -> None:
         """Flush and close the underlying file (idempotent)."""
@@ -82,19 +98,52 @@ class JsonlSink:
         self.close()
 
 
-def load_events(path: Union[str, Path]) -> List[TraceEvent]:
-    """Read a JSONL event log back into typed events."""
+def load_events(
+    path: Union[str, Path], strict: bool = True
+) -> List[TraceEvent]:
+    """Read a JSONL event log back into typed events.
+
+    With ``strict=False`` a malformed *final* line — the signature of a
+    process killed mid-write — is tolerated: the intact prefix is
+    returned and a :class:`UserWarning` reports the truncation.  A
+    malformed line anywhere else is corruption, not a crash artefact,
+    and always raises.
+    """
+    events, truncated_line = load_events_report(path, strict=strict)
+    if truncated_line is not None:
+        warnings.warn(
+            f"{path}:{truncated_line}: truncated final event line "
+            f"dropped ({len(events)} events recovered)",
+            stacklevel=2,
+        )
+    return events
+
+
+def load_events_report(
+    path: Union[str, Path], strict: bool = True
+) -> Tuple[List[TraceEvent], Optional[int]]:
+    """Like :func:`load_events`, reporting a tolerated truncation.
+
+    Returns ``(events, line_number_of_truncated_final_line_or_None)``.
+    """
     events: List[TraceEvent] = []
     with Path(path).open("r", encoding="utf-8") as handle:
-        for line_number, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise ConfigError(
-                    f"{path}:{line_number}: malformed event line"
-                ) from exc
-            events.append(event_from_dict(record))
-    return events
+        lines = handle.readlines()
+    last_content_line = 0
+    for line_number, line in enumerate(lines, start=1):
+        if line.strip():
+            last_content_line = line_number
+    for line_number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if not strict and line_number == last_content_line:
+                return events, line_number
+            raise ConfigError(
+                f"{path}:{line_number}: malformed event line"
+            ) from exc
+        events.append(event_from_dict(record))
+    return events, None

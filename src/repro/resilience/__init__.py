@@ -1,0 +1,39 @@
+"""Resilience layer: fault injection, safe mode, crash-tolerant runs.
+
+Three concerns live here (DESIGN.md's resilience note):
+
+* :mod:`repro.resilience.faults` — a deterministic, seeded fault-
+  injection engine that corrupts simulated state mid-run (saturating
+  counters, shadow tags, the association table, the giver heap, trace
+  records), driven by a declarative :class:`FaultPlan`;
+* :mod:`repro.resilience.harness` — per-run isolation for experiment
+  grids: retry-with-reseed, a wall-clock watchdog, and structured
+  :class:`~repro.sim.results.RunFailure` records instead of aborts;
+* :mod:`repro.resilience.campaign` — ties both together into the
+  ``repro faults`` CLI: run a campaign, measure the MPKI degradation
+  against the fault-free run and the plain-LRU baseline.
+"""
+
+from repro.resilience.campaign import CampaignReport, run_fault_campaign
+from repro.resilience.faults import (
+    FAULT_TARGETS,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectingCache,
+    ScheduledFault,
+)
+from repro.resilience.harness import RetryPolicy, guarded_run
+
+__all__ = [
+    "FAULT_TARGETS",
+    "CampaignReport",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectingCache",
+    "RetryPolicy",
+    "ScheduledFault",
+    "guarded_run",
+    "run_fault_campaign",
+]

@@ -13,7 +13,12 @@ from repro.sim.replication import (
     compare_with_confidence,
     replicate,
 )
-from repro.sim.results import ResultMatrix, format_series, format_table
+from repro.sim.results import (
+    ResultMatrix,
+    RunFailure,
+    format_series,
+    format_table,
+)
 from repro.sim.runner import associativity_sweep, run_benchmarks, run_matrix
 from repro.sim.simulator import RunResult, run_trace
 from repro.sim.timeline import Timeline, run_timeline
@@ -24,6 +29,7 @@ __all__ = [
     "PAPER_SCHEMES",
     "ReplicationSummary",
     "ResultMatrix",
+    "RunFailure",
     "RunResult",
     "Timeline",
     "associativity_sweep",

@@ -55,8 +55,15 @@ def replicate(
     seeds: Sequence[int] = (0, 1, 2),
     scale: Optional[ExperimentScale] = None,
     metric: Callable[[RunResult], float] = lambda r: r.mpki,
+    seed: int = 0xACE1,
 ) -> ReplicationSummary:
-    """Run one scheme on one benchmark across several trace seeds."""
+    """Run one scheme on one benchmark across several trace seeds.
+
+    ``seed`` is the *scheme* seed (the controller LFSR), threaded to
+    :func:`make_scheme` exactly as :func:`~repro.sim.runner.run_matrix`
+    does — ``seeds`` varies only the trace generator, so the replication
+    isolates workload variance from controller randomness.
+    """
     if not seeds:
         raise ConfigError("need at least one seed")
     scale = scale if scale is not None else ExperimentScale.default()
@@ -68,7 +75,7 @@ def replicate(
             length=scale.trace_length,
             seed_offset=seed_offset,
         )
-        cache = make_scheme(scheme, scale.geometry())
+        cache = make_scheme(scheme, scale.geometry(), seed=seed)
         result = run_trace(
             cache,
             trace,

@@ -10,19 +10,64 @@ figures plot.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Sequence
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.analysis.metrics import geomean, normalize_to_baseline
 from repro.common.errors import ConfigError
 from repro.sim.simulator import RunResult
 
 
+@dataclass(frozen=True)
+class RunFailure:
+    """Structured record of one failed (workload, scheme) run.
+
+    The crash-tolerant harness records these into the
+    :class:`ResultMatrix` instead of letting one poisoned cell abort an
+    entire experiment grid; ``seeds`` lists every scheme seed the retry
+    policy attempted before giving up.
+    """
+
+    workload: str
+    scheme: str
+    error_type: str
+    message: str
+    attempts: int = 1
+    seeds: Tuple[int, ...] = ()
+    elapsed_seconds: float = 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Flat JSON-serialisable view."""
+        return {
+            "workload": self.workload,
+            "scheme": self.scheme,
+            "error_type": self.error_type,
+            "message": self.message,
+            "attempts": self.attempts,
+            "seeds": list(self.seeds),
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"{self.scheme} on {self.workload} failed after "
+            f"{self.attempts} attempt(s): {self.error_type}: {self.message}"
+        )
+
+
 @dataclass
 class ResultMatrix:
-    """Grid of run results keyed by (workload, scheme)."""
+    """Grid of run results keyed by (workload, scheme).
+
+    Failed cells are first-class: :meth:`add_failure` records them
+    without blocking the rest of the grid, the axes still list the
+    failed workload/scheme (tables render the cell as ``-``), and
+    :meth:`get` on a failed cell raises an error that carries the
+    recorded failure.
+    """
 
     schemes: List[str] = field(default_factory=list)
     workloads: List[str] = field(default_factory=list)
+    failures: List[RunFailure] = field(default_factory=list)
     _cells: Dict[str, Dict[str, RunResult]] = field(default_factory=dict)
 
     def add(self, result: RunResult) -> None:
@@ -36,11 +81,43 @@ class ResultMatrix:
             self.schemes.append(scheme)
         self._cells[workload][scheme] = result
 
+    def add_failure(self, failure: RunFailure) -> None:
+        """Record a failed run, still extending the axes."""
+        if failure.workload not in self._cells:
+            self._cells[failure.workload] = {}
+            self.workloads.append(failure.workload)
+        if failure.scheme not in self.schemes:
+            self.schemes.append(failure.scheme)
+        self.failures.append(failure)
+
+    def failure_for(
+        self, workload: str, scheme: str
+    ) -> Optional[RunFailure]:
+        """The recorded failure for a cell, if any (latest wins)."""
+        found = None
+        for failure in self.failures:
+            if failure.workload == workload and failure.scheme == scheme:
+                found = failure
+        return found
+
+    def failed_cells(self) -> List[Tuple[str, str]]:
+        """(workload, scheme) pairs that failed, in recording order."""
+        return [
+            (failure.workload, failure.scheme) for failure in self.failures
+        ]
+
     def get(self, workload: str, scheme: str) -> RunResult:
-        """Fetch a single cell; raises ConfigError if missing."""
+        """Fetch a single cell; raises ConfigError if missing/failed."""
         try:
             return self._cells[workload][scheme]
         except KeyError as exc:
+            failure = self.failure_for(workload, scheme)
+            if failure is not None:
+                raise ConfigError(
+                    f"run failed for workload={workload!r} "
+                    f"scheme={scheme!r}: {failure.error_type}: "
+                    f"{failure.message}"
+                ) from exc
             raise ConfigError(
                 f"no result for workload={workload!r} scheme={scheme!r}"
             ) from exc

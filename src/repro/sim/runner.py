@@ -4,6 +4,15 @@ All entry points accept an optional
 :class:`~repro.obs.profile.RunProfiler`, which collects each run's
 phase timings (already measured by :func:`run_trace`) into one report —
 the substrate behind the CLI's ``--profile`` flags.
+
+Grids are crash-tolerant by default: each (scheme, trace) cell runs
+through :func:`~repro.resilience.harness.guarded_run`, so one poisoned
+cell is recorded as a structured
+:class:`~repro.sim.results.RunFailure` in the matrix while the rest of
+the grid completes.  A :class:`~repro.resilience.harness.RetryPolicy`
+adds retry-with-reseed, and ``watchdog_seconds`` arms a per-run
+wall-clock deadline.  Pass ``isolate=False`` to restore fail-fast
+propagation (debugging a single cell).
 """
 
 from __future__ import annotations
@@ -11,8 +20,9 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.obs.profile import RunProfiler
+from repro.resilience.harness import RetryPolicy, guarded_run
 from repro.sim.config import ExperimentScale, make_scheme
-from repro.sim.results import ResultMatrix
+from repro.sim.results import ResultMatrix, RunFailure
 from repro.sim.simulator import RunResult, run_trace
 from repro.workloads.spec_like import benchmark_names, make_benchmark_trace
 from repro.workloads.trace import Trace
@@ -24,20 +34,45 @@ def run_matrix(
     scale: Optional[ExperimentScale] = None,
     seed: int = 0xACE1,
     profiler: Optional[RunProfiler] = None,
+    isolate: bool = True,
+    retry: Optional[RetryPolicy] = None,
+    watchdog_seconds: Optional[float] = None,
 ) -> ResultMatrix:
-    """Run every scheme on every trace at one geometry."""
+    """Run every scheme on every trace at one geometry.
+
+    With ``isolate`` (the default), a failing cell becomes a
+    :class:`RunFailure` in ``matrix.failures`` and the grid continues;
+    without it, the first exception propagates immediately.
+    """
     scale = scale if scale is not None else ExperimentScale.default()
     matrix = ResultMatrix()
     geometry = scale.geometry()
     for trace in traces:
         for scheme_name in schemes:
-            cache = make_scheme(scheme_name, geometry, seed=seed)
-            result = run_trace(
-                cache,
-                trace,
-                warmup_fraction=scale.warmup_fraction,
-                machine=scale.machine,
-            )
+            if not isolate:
+                cache = make_scheme(scheme_name, geometry, seed=seed)
+                result = run_trace(
+                    cache,
+                    trace,
+                    warmup_fraction=scale.warmup_fraction,
+                    machine=scale.machine,
+                )
+            else:
+                result = guarded_run(
+                    lambda s, name=scheme_name: make_scheme(
+                        name, geometry, seed=s
+                    ),
+                    trace,
+                    scheme=scheme_name,
+                    base_seed=seed,
+                    retry=retry,
+                    watchdog_seconds=watchdog_seconds,
+                    warmup_fraction=scale.warmup_fraction,
+                    machine=scale.machine,
+                )
+            if isinstance(result, RunFailure):
+                matrix.add_failure(result)
+                continue
             if profiler is not None:
                 profiler.add(result)
             matrix.add(result)
@@ -50,6 +85,9 @@ def run_benchmarks(
     scale: Optional[ExperimentScale] = None,
     seed: int = 0xACE1,
     profiler: Optional[RunProfiler] = None,
+    isolate: bool = True,
+    retry: Optional[RetryPolicy] = None,
+    watchdog_seconds: Optional[float] = None,
 ) -> ResultMatrix:
     """Run the (selected) SPEC-like benchmarks through every scheme."""
     scale = scale if scale is not None else ExperimentScale.default()
@@ -63,7 +101,8 @@ def run_benchmarks(
         for name in names
     ]
     return run_matrix(traces, schemes, scale=scale, seed=seed,
-                      profiler=profiler)
+                      profiler=profiler, isolate=isolate, retry=retry,
+                      watchdog_seconds=watchdog_seconds)
 
 
 def associativity_sweep(
@@ -73,25 +112,50 @@ def associativity_sweep(
     scale: Optional[ExperimentScale] = None,
     seed: int = 0xACE1,
     profiler: Optional[RunProfiler] = None,
+    failures: Optional[List[RunFailure]] = None,
+    retry: Optional[RetryPolicy] = None,
+    watchdog_seconds: Optional[float] = None,
 ) -> Dict[str, List[RunResult]]:
     """MPKI-vs-associativity curves (Figures 3 and 10).
 
     The trace's set mapping depends only on the set count, so the same
     trace is reused across associativities — exactly how the paper
     varies capacity while holding the reference stream fixed.
+
+    Passing a ``failures`` list opts into per-run isolation: a failed
+    run is appended there (tagged ``scheme@assoc``) and skipped from
+    its curve rather than aborting the sweep.  Without it, curves must
+    stay index-aligned with ``associativities``, so errors propagate.
     """
     scale = scale if scale is not None else ExperimentScale.default()
     curves: Dict[str, List[RunResult]] = {name: [] for name in schemes}
     for associativity in associativities:
         geometry = scale.geometry(associativity=associativity)
         for scheme_name in schemes:
-            cache = make_scheme(scheme_name, geometry, seed=seed)
-            result = run_trace(
-                cache,
-                trace,
-                warmup_fraction=scale.warmup_fraction,
-                machine=scale.machine,
-            )
+            if failures is None:
+                cache = make_scheme(scheme_name, geometry, seed=seed)
+                result = run_trace(
+                    cache,
+                    trace,
+                    warmup_fraction=scale.warmup_fraction,
+                    machine=scale.machine,
+                )
+            else:
+                result = guarded_run(
+                    lambda s, name=scheme_name, g=geometry: make_scheme(
+                        name, g, seed=s
+                    ),
+                    trace,
+                    scheme=f"{scheme_name}@{associativity}",
+                    base_seed=seed,
+                    retry=retry,
+                    watchdog_seconds=watchdog_seconds,
+                    warmup_fraction=scale.warmup_fraction,
+                    machine=scale.machine,
+                )
+                if isinstance(result, RunFailure):
+                    failures.append(result)
+                    continue
             if profiler is not None:
                 profiler.add(result)
             curves[scheme_name].append(result)

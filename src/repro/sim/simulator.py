@@ -21,7 +21,7 @@ from time import perf_counter
 from typing import Optional
 
 from repro.analysis.metrics import MetricSet, evaluate_run
-from repro.common.errors import ConfigError
+from repro.common.errors import ConfigError, WatchdogTimeout
 from repro.common.stats import CacheStats
 from repro.obs.manifest import RunManifest, build_manifest
 from repro.sim.config import MachineConfig
@@ -61,12 +61,58 @@ class RunResult:
         return self.stats.miss_rate
 
 
+#: Accesses between deadline checks when a watchdog is armed: coarse
+#: enough to stay invisible in the hot loop, fine enough that an
+#: overrunning run is caught within a fraction of a second.
+_WATCHDOG_STRIDE = 8192
+
+
+def _run_span(
+    access,
+    addresses,
+    writes,
+    start: int,
+    stop: int,
+    deadline_at: Optional[float],
+    trace_name: str,
+) -> None:
+    """Drive ``addresses[start:stop]`` through ``access``.
+
+    Without a deadline this is the exact tight loop the hot path has
+    always used; with one, the span is chunked and the wall clock
+    checked between chunks, raising :class:`WatchdogTimeout` so a hung
+    or pathologically slow run cannot stall a whole experiment grid.
+    """
+    if deadline_at is None:
+        if writes is None:
+            for index in range(start, stop):
+                access(addresses[index])
+        else:
+            for index in range(start, stop):
+                access(addresses[index], writes[index])
+        return
+    for chunk_start in range(start, stop, _WATCHDOG_STRIDE):
+        chunk_stop = min(stop, chunk_start + _WATCHDOG_STRIDE)
+        if writes is None:
+            for index in range(chunk_start, chunk_stop):
+                access(addresses[index])
+        else:
+            for index in range(chunk_start, chunk_stop):
+                access(addresses[index], writes[index])
+        if perf_counter() > deadline_at:
+            raise WatchdogTimeout(
+                f"trace {trace_name!r}: run exceeded its wall-clock "
+                f"deadline after {chunk_stop} accesses"
+            )
+
+
 def run_trace(
     cache,
     trace: Trace,
     warmup_fraction: float = 0.25,
     machine: Optional[MachineConfig] = None,
     with_writes: bool = True,
+    deadline_seconds: Optional[float] = None,
 ) -> RunResult:
     """Simulate ``trace`` on ``cache`` and evaluate the paper metrics.
 
@@ -74,10 +120,18 @@ def run_trace(
     statistics are then reset so the measured window starts warm, and
     the trace's instruction count is prorated onto that window so MPKI
     stays comparable across warm-up choices.
+
+    ``deadline_seconds`` arms a cooperative wall-clock watchdog over
+    the whole run (warm-up plus measurement); exceeding it raises
+    :class:`~repro.common.errors.WatchdogTimeout`.
     """
     if not 0.0 <= warmup_fraction < 1.0:
         raise ConfigError(
             f"warmup_fraction must lie in [0, 1), got {warmup_fraction}"
+        )
+    if deadline_seconds is not None and deadline_seconds <= 0:
+        raise ConfigError(
+            f"deadline_seconds must be positive, got {deadline_seconds}"
         )
     machine = machine if machine is not None else MachineConfig()
     addresses = trace.addresses
@@ -88,22 +142,15 @@ def run_trace(
     access = cache.access
     writes = trace.writes if with_writes else None
     phase_start = perf_counter()
-    if writes is None:
-        for index in range(warm):
-            access(addresses[index])
-        warmup_seconds = perf_counter() - phase_start
-        cache.reset_stats()
-        phase_start = perf_counter()
-        for index in range(warm, total):
-            access(addresses[index])
-    else:
-        for index in range(warm):
-            access(addresses[index], writes[index])
-        warmup_seconds = perf_counter() - phase_start
-        cache.reset_stats()
-        phase_start = perf_counter()
-        for index in range(warm, total):
-            access(addresses[index], writes[index])
+    deadline_at = (
+        phase_start + deadline_seconds if deadline_seconds is not None
+        else None
+    )
+    _run_span(access, addresses, writes, 0, warm, deadline_at, trace.name)
+    warmup_seconds = perf_counter() - phase_start
+    cache.reset_stats()
+    phase_start = perf_counter()
+    _run_span(access, addresses, writes, warm, total, deadline_at, trace.name)
     measured_seconds = perf_counter() - phase_start
     measured = total - warm
     instructions = max(

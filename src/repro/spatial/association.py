@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.common.errors import ConfigError, SimulationError
+from repro.common.errors import ConfigError, InvariantViolation, SimulationError
 
 
 class AssociationTable:
@@ -58,16 +58,59 @@ class AssociationTable:
         self.decouplings += 1
 
     def check_invariants(self) -> None:
-        """Assert the pairing relation is a symmetric partial matching."""
+        """Verify the pairing relation is a symmetric partial matching.
+
+        Raises :class:`InvariantViolation` (rather than ``assert``-ing,
+        so the check survives ``python -O``) on the first bad entry.
+        """
         for index in range(self.num_sets):
             partner = self._partner[index]
-            assert 0 <= partner < self.num_sets, (
-                f"entry {index} points outside the table"
-            )
-            assert self._partner[partner] == index or partner == index, (
-                f"asymmetric pairing: {index} -> {partner} -> "
-                f"{self._partner[partner]}"
-            )
+            if not isinstance(partner, int) or not 0 <= partner < self.num_sets:
+                raise InvariantViolation(
+                    f"association entry {index} points outside the table: "
+                    f"{partner!r}"
+                )
+            if partner != index and self._partner[partner] != index:
+                raise InvariantViolation(
+                    f"asymmetric pairing: {index} -> {partner} -> "
+                    f"{self._partner[partner]}"
+                )
+
+    # ------------------------------------------------------------------
+    # Fault-injection and recovery surface
+    # ------------------------------------------------------------------
+
+    def raw_entry(self, set_index: int) -> int:
+        """The stored entry for ``set_index``, however corrupt."""
+        return self._partner[set_index]
+
+    def force_entry(self, set_index: int, value: int) -> None:
+        """Overwrite one entry with no consistency checks.
+
+        This is the fault-injection surface (a bit flip in the table
+        RAM) and the recovery surface (safe mode resetting an entry to
+        identity); normal coupling must go through :meth:`couple`.
+        """
+        self._partner[set_index] = value
+
+    def repair(self) -> List[int]:
+        """Reset every out-of-range or asymmetric entry to identity.
+
+        Returns the indices whose entries were repaired, so the caller
+        (STEM's safe mode) knows which sets lost their pairing state.
+        """
+        repaired: List[int] = []
+        for index in range(self.num_sets):
+            partner = self._partner[index]
+            if not isinstance(partner, int) or not 0 <= partner < self.num_sets:
+                self._partner[index] = index
+                repaired.append(index)
+        for index in range(self.num_sets):
+            partner = self._partner[index]
+            if partner != index and self._partner[partner] != index:
+                self._partner[index] = index
+                repaired.append(index)
+        return repaired
 
     def storage_bits(self) -> int:
         """Storage cost of the table (Table 3: entries x index width)."""

@@ -62,6 +62,20 @@ class GiverHeap:
         """Drop an entry (e.g. the set just got coupled)."""
         self._saturation.pop(set_index, None)
 
+    def entries(self) -> Dict[int, int]:
+        """Snapshot of {set_index: saturation} (tests, fault injection)."""
+        return dict(self._saturation)
+
+    def force_entry(self, set_index: int, saturation: int) -> None:
+        """Write one entry unconditionally — the fault-injection surface.
+
+        Bypasses capacity and replacement so a campaign can model a
+        glitched heap slot (stale index, even one naming a set that does
+        not exist); :meth:`pop_best`'s lazy validation is what makes the
+        real design tolerate exactly this kind of garbage.
+        """
+        self._saturation[set_index] = saturation
+
     def pop_best(self, validator: Validator) -> Optional[int]:
         """Return and remove the least-saturated valid giver, if any.
 

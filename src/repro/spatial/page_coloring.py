@@ -30,7 +30,7 @@ from typing import Dict, List, Optional
 
 from repro.cache.access import AccessKind
 from repro.cache.geometry import CacheGeometry
-from repro.common.errors import ConfigError
+from repro.common.errors import ConfigError, InvariantViolation
 from repro.common.rng import Lfsr
 from repro.common.stats import CacheStats
 
@@ -202,11 +202,20 @@ class PageColoringCache:
         self.stats = CacheStats()
 
     def check_invariants(self) -> None:
-        """Assert structural consistency; used by property tests."""
+        """Raise :class:`InvariantViolation` on structural inconsistency."""
         for set_index in range(self.geometry.num_sets):
             table = self._lookup[set_index]
             for block, way in table.items():
-                assert self._way_block[set_index][way] == block
+                if self._way_block[set_index][way] != block:
+                    raise InvariantViolation(
+                        f"block/way mismatch in set {set_index} way {way}"
+                    )
             occupancy = len(table) + len(self._free[set_index])
-            assert occupancy == self.geometry.associativity
-            assert sorted(self._order[set_index]) == sorted(table.values())
+            if occupancy != self.geometry.associativity:
+                raise InvariantViolation(
+                    f"set {set_index}: valid+free != associativity"
+                )
+            if sorted(self._order[set_index]) != sorted(table.values()):
+                raise InvariantViolation(
+                    f"set {set_index}: recency order out of sync with table"
+                )

@@ -25,7 +25,7 @@ from typing import List, Optional
 from repro.cache.access import AccessKind
 from repro.cache.block import BlockView
 from repro.cache.geometry import CacheGeometry
-from repro.common.errors import ConfigError
+from repro.common.errors import ConfigError, InvariantViolation
 from repro.common.rng import Lfsr
 from repro.common.stats import CacheStats
 from repro.obs.events import Coupling, Decoupling, Eviction, Spill
@@ -322,20 +322,30 @@ class SbcCache:
         self.stats = CacheStats()
 
     def check_invariants(self) -> None:
-        """Assert structural consistency; used by property tests."""
+        """Raise :class:`InvariantViolation` on structural inconsistency."""
         self.association.check_invariants()
         for set_index in range(self.geometry.num_sets):
             table = self._lookup[set_index]
             cc_blocks = sum(1 for key in table if key & 1)
             if self._role[set_index] == _ROLE_DEST:
-                assert cc_blocks == self._cc_count[set_index], (
-                    f"set {set_index}: cc bookkeeping mismatch"
-                )
-                assert self.association.is_coupled(set_index)
-            else:
-                assert cc_blocks == 0, (
+                if cc_blocks != self._cc_count[set_index]:
+                    raise InvariantViolation(
+                        f"set {set_index}: cc bookkeeping mismatch"
+                    )
+                if not self.association.is_coupled(set_index):
+                    raise InvariantViolation(
+                        f"set {set_index}: dest role without a coupling"
+                    )
+            elif cc_blocks != 0:
+                raise InvariantViolation(
                     f"set {set_index}: cooperative blocks outside a dest set"
                 )
             occupancy = len(table) + len(self._free[set_index])
-            assert occupancy == self.geometry.associativity
-            assert sorted(self._order[set_index]) == sorted(table.values())
+            if occupancy != self.geometry.associativity:
+                raise InvariantViolation(
+                    f"set {set_index}: valid+free != associativity"
+                )
+            if sorted(self._order[set_index]) != sorted(table.values()):
+                raise InvariantViolation(
+                    f"set {set_index}: recency order out of sync with table"
+                )

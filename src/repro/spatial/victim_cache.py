@@ -18,7 +18,7 @@ from typing import Dict, List, Optional
 from repro.cache.access import AccessKind
 from repro.cache.block import BlockView
 from repro.cache.geometry import CacheGeometry
-from repro.common.errors import ConfigError
+from repro.common.errors import ConfigError, InvariantViolation
 from repro.common.rng import Lfsr
 from repro.common.stats import CacheStats
 
@@ -151,18 +151,31 @@ class VictimCache:
         self.stats = CacheStats()
 
     def check_invariants(self) -> None:
-        """Assert structural consistency; used by property tests."""
-        assert len(self._buffer) <= self.buffer_entries
+        """Raise :class:`InvariantViolation` on structural inconsistency."""
+        if len(self._buffer) > self.buffer_entries:
+            raise InvariantViolation("victim buffer exceeds its capacity")
         for set_index in range(self.geometry.num_sets):
             table = self._lookup[set_index]
             for tag, way in table.items():
-                assert self._way_tag[set_index][way] == tag
+                if self._way_tag[set_index][way] != tag:
+                    raise InvariantViolation(
+                        f"tag/way mismatch in set {set_index} way {way}"
+                    )
                 # Exclusivity: a resident block is never also buffered.
                 block = (
                     self.mapper.compose(tag, set_index)
                     >> self.mapper.offset_bits
                 )
-                assert block not in self._buffer
+                if block in self._buffer:
+                    raise InvariantViolation(
+                        f"block {block:#x} resident and buffered at once"
+                    )
             occupancy = len(table) + len(self._free[set_index])
-            assert occupancy == self.geometry.associativity
-            assert sorted(self._order[set_index]) == sorted(table.values())
+            if occupancy != self.geometry.associativity:
+                raise InvariantViolation(
+                    f"set {set_index}: valid+free != associativity"
+                )
+            if sorted(self._order[set_index]) != sorted(table.values()):
+                raise InvariantViolation(
+                    f"set {set_index}: recency order out of sync with table"
+                )

@@ -31,7 +31,11 @@ from typing import List, Optional
 from repro.cache.access import AccessKind
 from repro.cache.block import BlockView
 from repro.cache.geometry import CacheGeometry
-from repro.common.errors import ConfigError, SimulationError
+from repro.common.errors import (
+    ConfigError,
+    InvariantViolation,
+    SimulationError,
+)
 from repro.common.rng import Lfsr
 from repro.common.stats import CacheStats
 from repro.obs.events import Eviction
@@ -208,21 +212,31 @@ class VwayCache:
         self.stats = CacheStats()
 
     def check_invariants(self) -> None:
-        """Assert pointer consistency between tag and data stores."""
+        """Raise :class:`InvariantViolation` on broken fptr/rptr links."""
         used_lines = 0
         for set_index in range(self.geometry.num_sets):
             table = self._tag_to_entry[set_index]
             for tag, entry in table.items():
-                assert self._entry_tag[entry] == tag
+                if self._entry_tag[entry] != tag:
+                    raise InvariantViolation(
+                        f"entry {entry}: stored tag disagrees with table"
+                    )
                 line = self._entry_line[entry]
-                assert line != _INVALID
-                assert self._line_entry[line] == entry, (
-                    f"broken rptr for line {line}"
-                )
+                if line == _INVALID:
+                    raise InvariantViolation(
+                        f"entry {entry} valid but has no data line"
+                    )
+                if self._line_entry[line] != entry:
+                    raise InvariantViolation(f"broken rptr for line {line}")
                 used_lines += 1
-            assert sorted(self._tag_order[set_index]) == sorted(table.values())
-            assert (
-                len(table) + len(self._free_entries[set_index])
-                == self.entries_per_set
-            )
-        assert used_lines + len(self._free_lines) == self.geometry.num_lines
+            if sorted(self._tag_order[set_index]) != sorted(table.values()):
+                raise InvariantViolation(
+                    f"set {set_index}: recency order out of sync with table"
+                )
+            if (len(table) + len(self._free_entries[set_index])
+                    != self.entries_per_set):
+                raise InvariantViolation(
+                    f"set {set_index}: valid+free != entries_per_set"
+                )
+        if used_lines + len(self._free_lines) != self.geometry.num_lines:
+            raise InvariantViolation("used+free data lines != num_lines")

@@ -16,6 +16,7 @@ from pathlib import Path
 from typing import Iterator, List, Optional
 
 from repro.common.errors import TraceError
+from repro.common.io import atomic_write
 
 
 @dataclass(frozen=True)
@@ -110,7 +111,9 @@ class Trace:
             "description": self.metadata.description,
             "spec_class": self.metadata.spec_class,
         }
-        with path.open("w", encoding="utf-8") as handle:
+        # Write-then-rename so a crash mid-save can never leave a
+        # truncated trace where a complete one is expected.
+        with atomic_write(path) as handle:
             handle.write(json.dumps(header) + "\n")
             if self.writes is None:
                 for address in self.addresses:
@@ -122,7 +125,14 @@ class Trace:
 
     @classmethod
     def load(cls, path: "Path | str") -> "Trace":
-        """Read a trace previously written by :meth:`save`."""
+        """Read a trace previously written by :meth:`save`.
+
+        Every malformation — a corrupt or incomplete header, a missing
+        required key, a non-hex address, a negative address, or an
+        address wider than the header's ``address_bits`` — raises
+        :class:`TraceError` naming the file (and line), never a bare
+        ``KeyError`` or ``ValueError``.
+        """
         path = Path(path)
         with path.open("r", encoding="utf-8") as handle:
             header_line = handle.readline()
@@ -130,14 +140,30 @@ class Trace:
                 header = json.loads(header_line)
             except json.JSONDecodeError as exc:
                 raise TraceError(f"malformed trace header in {path}") from exc
-            metadata = TraceMetadata(
-                name=header["name"],
-                instructions=header["instructions"],
-                line_size=header.get("line_size", 64),
-                address_bits=header.get("address_bits", 44),
-                description=header.get("description", ""),
-                spec_class=header.get("spec_class", ""),
-            )
+            if not isinstance(header, dict):
+                raise TraceError(
+                    f"trace header in {path} is not a JSON object"
+                )
+            for required in ("name", "instructions"):
+                if required not in header:
+                    raise TraceError(
+                        f"trace header in {path} is missing the "
+                        f"{required!r} key"
+                    )
+            try:
+                metadata = TraceMetadata(
+                    name=header["name"],
+                    instructions=header["instructions"],
+                    line_size=header.get("line_size", 64),
+                    address_bits=header.get("address_bits", 44),
+                    description=header.get("description", ""),
+                    spec_class=header.get("spec_class", ""),
+                )
+            except TypeError as exc:
+                raise TraceError(
+                    f"trace header in {path} has ill-typed values: {exc}"
+                ) from exc
+            address_limit = 1 << metadata.address_bits
             addresses: List[int] = []
             writes: List[bool] = []
             any_write = False
@@ -146,11 +172,22 @@ class Trace:
                 if not parts:
                     continue
                 try:
-                    addresses.append(int(parts[0], 16))
+                    address = int(parts[0], 16)
                 except ValueError as exc:
                     raise TraceError(
                         f"{path}:{line_number}: bad address {parts[0]!r}"
                     ) from exc
+                if address < 0:
+                    raise TraceError(
+                        f"{path}:{line_number}: negative address "
+                        f"{parts[0]!r}"
+                    )
+                if address >= address_limit:
+                    raise TraceError(
+                        f"{path}:{line_number}: address {parts[0]!r} wider "
+                        f"than address_bits={metadata.address_bits}"
+                    )
+                addresses.append(address)
                 is_write = len(parts) > 1 and parts[1] == "w"
                 writes.append(is_write)
                 any_write = any_write or is_write

@@ -79,6 +79,7 @@ class TestEvents:
         assert set(EVENT_TYPES) == {
             "eviction", "spill", "spill_reject", "coupling",
             "decoupling", "policy_swap", "shadow_hit",
+            "fault_injected", "safe_mode",
         }
 
     def test_as_dict_tags_kind(self):

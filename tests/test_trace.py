@@ -1,5 +1,8 @@
 """Tests for trace containers and persistence."""
 
+import json
+import random
+
 import pytest
 
 from repro.common.errors import TraceError
@@ -88,3 +91,86 @@ class TestPersistence:
         )
         with pytest.raises(TraceError, match="bad address"):
             Trace.load(path)
+
+
+class TestLoadRobustness:
+    """Malformed inputs raise TraceError naming the file — never leak
+    a bare KeyError/ValueError from the parser internals."""
+
+    @pytest.mark.parametrize("missing", ["name", "instructions"])
+    def test_missing_required_key(self, tmp_path, missing):
+        header = {"name": "x", "instructions": 10}
+        del header[missing]
+        path = tmp_path / "missing.trace"
+        path.write_text(json.dumps(header) + "\n40\n")
+        with pytest.raises(TraceError, match=missing) as excinfo:
+            Trace.load(path)
+        assert str(path) in str(excinfo.value)
+
+    def test_non_object_header(self, tmp_path):
+        path = tmp_path / "list.trace"
+        path.write_text("[1, 2, 3]\n40\n")
+        with pytest.raises(TraceError, match="not a JSON object"):
+            Trace.load(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.trace"
+        path.write_text("")
+        with pytest.raises(TraceError, match="header"):
+            Trace.load(path)
+
+    def test_ill_typed_header_values(self, tmp_path):
+        path = tmp_path / "typed.trace"
+        path.write_text('{"name": "x", "instructions": "lots"}\n40\n')
+        with pytest.raises(TraceError):
+            Trace.load(path)
+
+    def test_negative_address_rejected(self, tmp_path):
+        path = tmp_path / "neg.trace"
+        path.write_text('{"name": "x", "instructions": 10}\n-40\n')
+        with pytest.raises(TraceError, match="negative address"):
+            Trace.load(path)
+
+    def test_address_wider_than_address_bits(self, tmp_path):
+        path = tmp_path / "wide.trace"
+        path.write_text(
+            '{"name": "x", "instructions": 10, "address_bits": 8}\n1ff\n'
+        )
+        with pytest.raises(TraceError, match="wider than address_bits"):
+            Trace.load(path)
+        # The error names the offending line.
+        with pytest.raises(TraceError, match=":2:"):
+            Trace.load(path)
+
+    def test_boundary_address_accepted(self, tmp_path):
+        path = tmp_path / "edge.trace"
+        path.write_text(
+            '{"name": "x", "instructions": 10, "address_bits": 8}\nff\n'
+        )
+        assert Trace.load(path).addresses == [0xFF]
+
+    def test_fuzz_corrupted_files_never_leak_raw_errors(self, tmp_path):
+        """Random corruption either loads or raises TraceError — no
+        KeyError/ValueError/IndexError escapes the parser."""
+        rng = random.Random(0xF417)
+        base = make_trace(30, writes=True, name="fuzz").save(
+            tmp_path / "base.trace"
+        )
+        original = (tmp_path / "base.trace").read_text()
+        junk = "zx-{}[]\"', \n"
+        for round_number in range(50):
+            chars = list(original)
+            for _ in range(rng.randint(1, 6)):
+                position = rng.randrange(len(chars))
+                if rng.random() < 0.5:
+                    chars[position] = rng.choice(junk)
+                else:
+                    del chars[position]
+            if rng.random() < 0.3:  # simulate a truncating crash too
+                chars = chars[: rng.randrange(1, len(chars))]
+            path = tmp_path / f"fuzz{round_number}.trace"
+            path.write_text("".join(chars))
+            try:
+                Trace.load(path)
+            except TraceError:
+                pass  # the only acceptable failure mode
