@@ -1,18 +1,40 @@
 """Microbenchmarks: simulation throughput of each LLC scheme.
 
-These are true pytest-benchmark measurements (multiple rounds) of the
-simulator's accesses/second per scheme — useful for tracking the cost
-of STEM's extra machinery (shadow probes, heap traffic) relative to
-the plain LRU access path.
+Two surfaces share this module:
+
+* ``test_bench_scheme_throughput`` — true pytest-benchmark measurements
+  (multiple rounds) of accesses/second per scheme, for interactive
+  profiling (``pytest benchmarks/ --benchmark-only``).
+* The ``BENCH_throughput.json`` recorder/guard pair.  The committed
+  artefact at the repo root pins each scheme's accesses/sec (plus the
+  measured wall-clock and run-manifest hash for provenance) at a fixed
+  reference workload.  ``BENCH_RECORD=1`` re-measures and rewrites it;
+  ``BENCH_GUARD=1`` re-measures and fails if throughput fell below
+  ``BENCH_GUARD_RATIO`` (default 0.8, i.e. a >20 % regression) of the
+  committed numbers.  Keys starting with ``_`` are metadata and are
+  never guarded.
 """
+
+import gc
+import json
+import os
+from pathlib import Path
 
 import pytest
 
+from repro.common.io import atomic_write_text
 from repro.sim.config import ExperimentScale, make_scheme
+from repro.sim.simulator import run_trace
 from repro.workloads.spec_like import make_benchmark_trace
 
 SCALE = ExperimentScale(num_sets=64, associativity=16)
 TRACE = make_benchmark_trace("omnetpp", num_sets=64, length=20_000)
+
+#: Reference workload for the recorded/guarded numbers: long enough
+#: that per-run noise stays within a few percent on a quiet machine.
+RECORD_SCHEMES = ("lru", "dip", "pelifo", "stem")
+RECORD_LENGTH = 200_000
+ARTEFACT = Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
 
 
 @pytest.mark.parametrize(
@@ -30,3 +52,78 @@ def test_bench_scheme_throughput(benchmark, scheme):
 
     misses = benchmark(simulate)
     assert misses > 0
+
+
+#: Throughput repetitions: wall-clock noise on a loaded host easily
+#: reaches tens of percent, so record/guard use the best of N runs.
+MEASURE_REPS = 3
+
+
+def _measure(scheme: str) -> dict:
+    """Best-of-``MEASURE_REPS`` run of ``scheme`` on the reference load."""
+    trace = make_benchmark_trace(
+        "omnetpp", num_sets=SCALE.num_sets, length=RECORD_LENGTH
+    )
+    best = None
+    # Collector pauses from earlier runs' garbage can swallow tens of
+    # percent of a later scheme's measured phase; isolate each rep.
+    gc.collect()
+    gc.disable()
+    try:
+        for _ in range(MEASURE_REPS):
+            cache = make_scheme(scheme, SCALE.geometry())
+            manifest = run_trace(cache, trace).manifest
+            rate = manifest.measured_accesses / manifest.measured_seconds
+            if best is None or rate > best[0]:
+                best = (rate, manifest)
+            gc.collect()
+    finally:
+        gc.enable()
+    rate, manifest = best
+    return {
+        "accesses_per_sec": round(rate, 1),
+        "wall_seconds": round(
+            manifest.measured_seconds + manifest.warmup_seconds, 4
+        ),
+        "manifest_hash": manifest.content_hash,
+    }
+
+
+@pytest.mark.skipif(
+    os.environ.get("BENCH_RECORD") != "1",
+    reason="recorder runs only with BENCH_RECORD=1",
+)
+def test_bench_record_throughput():
+    document = {}
+    if ARTEFACT.is_file():
+        document = json.loads(ARTEFACT.read_text(encoding="utf-8"))
+        # Keep metadata (e.g. the pre-optimisation baselines) intact.
+        document = {k: v for k, v in document.items() if k.startswith("_")}
+    for scheme in RECORD_SCHEMES:
+        document[scheme] = _measure(scheme)
+    atomic_write_text(
+        ARTEFACT, json.dumps(document, indent=2, sort_keys=True) + "\n"
+    )
+    assert all(document[s]["accesses_per_sec"] > 0 for s in RECORD_SCHEMES)
+
+
+@pytest.mark.skipif(
+    os.environ.get("BENCH_GUARD") != "1",
+    reason="guard runs only with BENCH_GUARD=1",
+)
+def test_bench_throughput_guard():
+    assert ARTEFACT.is_file(), f"missing committed artefact {ARTEFACT}"
+    document = json.loads(ARTEFACT.read_text(encoding="utf-8"))
+    ratio = float(os.environ.get("BENCH_GUARD_RATIO", "0.8"))
+    failures = []
+    for scheme, recorded in document.items():
+        if scheme.startswith("_"):
+            continue
+        measured = _measure(scheme)["accesses_per_sec"]
+        floor = recorded["accesses_per_sec"] * ratio
+        if measured < floor:
+            failures.append(
+                f"{scheme}: {measured:,.0f} acc/s < floor {floor:,.0f} "
+                f"(recorded {recorded['accesses_per_sec']:,.0f})"
+            )
+    assert not failures, "; ".join(failures)

@@ -9,17 +9,17 @@ the "one set, fixed associativity" assumption this class encodes.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Sequence
 
 from repro.cache.access import AccessKind
 from repro.cache.block import BlockView
 from repro.cache.geometry import CacheGeometry
-from repro.common.errors import InvariantViolation
+from repro.common.errors import InvariantViolation, SimulationError
 from repro.common.rng import Lfsr
 from repro.common.stats import CacheStats
 from repro.obs.events import Eviction
 from repro.obs.tracer import NULL_TRACER, Tracer
-from repro.policies.base import ReplacementPolicy
+from repro.policies.base import RecencyPolicy, ReplacementPolicy
 
 #: Callback signature for eviction notifications: (block_address, dirty).
 EvictionListener = Callable[[int, bool], None]
@@ -114,6 +114,144 @@ class SetAssociativeCache:
         self._dirty[set_index][way] = is_write
         self.policy.on_fill(set_index, way)
         return AccessKind.MISS
+
+    def access_batch(
+        self,
+        addresses: Sequence[int],
+        set_indices: Sequence[int],
+        tags: Sequence[int],
+        writes: Optional[Sequence[bool]],
+        start: int,
+        stop: int,
+    ) -> None:
+        """Process accesses ``[start, stop)`` from precomputed arrays.
+
+        Semantically identical to calling :meth:`access` once per entry
+        (same final state, same statistics), but with the set-index/tag
+        split hoisted out and hot attributes bound to locals.  Recency
+        policies with no eviction listener additionally get the policy
+        protocol inlined.  With a tracer attached, falls back to the
+        scalar path so per-event ``stats.accesses`` snapshots stay exact.
+        """
+        if self.tracer.enabled:
+            access = self.access
+            if writes is None:
+                for n in range(start, stop):
+                    access(addresses[n])
+            else:
+                for n in range(start, stop):
+                    access(addresses[n], writes[n])
+            return
+        policy = self.policy
+        cls = type(policy)
+        stats = self.stats
+        tag_tables = self._tag_to_way
+        way_tags = self._way_tag
+        dirty_rows = self._dirty
+        free_lists = self._free_ways
+        has_writes = writes is not None
+        hits = evictions = writebacks = 0
+        if (
+            isinstance(policy, RecencyPolicy)
+            and self.eviction_listener is None
+            and cls.victim is RecencyPolicy.victim
+            and cls.on_fill is RecencyPolicy.on_fill
+        ):
+            orders = policy._order
+            inline_hit = cls.on_hit is RecencyPolicy.on_hit
+            hit_update = (
+                None if inline_hit or policy.batch_hit_noop else policy.on_hit
+            )
+            train_miss = (
+                None
+                if cls.on_miss is ReplacementPolicy.on_miss
+                else policy.on_miss
+            )
+            mru_const = policy.batch_insert_mru
+            decide_mru = policy._insert_at_mru
+            for n in range(start, stop):
+                set_index = set_indices[n]
+                tag = tags[n]
+                table = tag_tables[set_index]
+                way = table.get(tag)
+                if way is not None:
+                    hits += 1
+                    if has_writes and writes[n]:
+                        dirty_rows[set_index][way] = True
+                    if inline_hit:
+                        order = orders[set_index]
+                        order.remove(way)
+                        order.append(way)
+                    elif hit_update is not None:
+                        hit_update(set_index, way)
+                    continue
+                if train_miss is not None:
+                    train_miss(set_index)
+                free = free_lists[set_index]
+                if free:
+                    way = free.pop()
+                else:
+                    order = orders[set_index]
+                    if not order:
+                        raise SimulationError(
+                            f"victim() on empty ranking for set {set_index}"
+                        )
+                    way = order[0]
+                    old_tag = way_tags[set_index][way]
+                    del table[old_tag]
+                    evictions += 1
+                    dirty_row = dirty_rows[set_index]
+                    if dirty_row[way]:
+                        writebacks += 1
+                        dirty_row[way] = False
+                table[tag] = way
+                way_tags[set_index][way] = tag
+                dirty_rows[set_index][way] = has_writes and bool(writes[n])
+                order = orders[set_index]
+                if way in order:
+                    order.remove(way)
+                at_mru = mru_const if mru_const is not None else decide_mru(set_index)
+                if at_mru:
+                    order.append(way)
+                else:
+                    order.insert(0, way)
+        else:
+            on_hit = policy.on_hit
+            on_miss = policy.on_miss
+            victim = policy.victim
+            on_fill = policy.on_fill
+            evict = self._evict
+            for n in range(start, stop):
+                set_index = set_indices[n]
+                tag = tags[n]
+                table = tag_tables[set_index]
+                way = table.get(tag)
+                if way is not None:
+                    hits += 1
+                    if has_writes and writes[n]:
+                        dirty_rows[set_index][way] = True
+                    on_hit(set_index, way)
+                    continue
+                on_miss(set_index)
+                free = free_lists[set_index]
+                if free:
+                    way = free.pop()
+                else:
+                    way = victim(set_index)
+                    evict(set_index, way)
+                table[tag] = way
+                way_tags[set_index][way] = tag
+                dirty_rows[set_index][way] = has_writes and bool(writes[n])
+                on_fill(set_index, way)
+        total = stop - start
+        misses = total - hits
+        stats.accesses += total
+        stats.hits += hits
+        stats.local_hits += hits
+        stats.misses += misses
+        stats.misses_single_probe += misses
+        stats.evictions += evictions
+        stats.writebacks += writebacks
 
     def _evict(self, set_index: int, way: int) -> None:
         """Remove the block in ``way`` and account for its write-back."""

@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BlockView:
     """One resident cache block as seen from outside the simulator.
 
@@ -31,7 +31,7 @@ class BlockView:
         return 1 if self.cooperative else 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ShadowView:
     """One valid shadow-set entry (an m-bit hashed victim tag)."""
 

@@ -4,6 +4,8 @@ Commands
 --------
 ``run``      simulate one scheme on one benchmark and print the metrics
 ``compare``  run several schemes on one benchmark side by side
+``bench``    run a scheme x benchmark grid, optionally in parallel
+             (``--jobs N``) and with a content-addressed run cache
 ``trace``    run one scheme with event tracing (JSONL log + aggregates)
 ``sweep``    MPKI vs associativity for chosen schemes
 ``faults``   deterministic fault-injection campaign + degradation report
@@ -48,9 +50,10 @@ from repro.obs.tracer import Tracer
 from repro.obs.inspect import summarize_events
 from repro.resilience.campaign import run_fault_campaign
 from repro.resilience.faults import FAULT_TARGETS
+from repro.sim.cache import RunCache
 from repro.sim.config import ExperimentScale, available_schemes, make_scheme
-from repro.sim.results import format_series
-from repro.sim.runner import associativity_sweep
+from repro.sim.results import format_series, format_table
+from repro.sim.runner import associativity_sweep, run_benchmarks
 from repro.sim.simulator import run_trace
 from repro.workloads.spec_like import benchmark_names, make_benchmark_trace
 
@@ -150,6 +153,38 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     if args.profile or args.profile_json:
         _finish_profile(profiler, args)
     return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    scale = _scale_from(args)
+    schemes = [s.strip() for s in args.schemes.split(",")]
+    benchmarks = (
+        [b.strip() for b in args.benchmarks.split(",")]
+        if args.benchmarks else None
+    )
+    run_cache = None
+    if not args.no_run_cache:
+        run_cache = RunCache(args.run_cache)
+    profiler = RunProfiler()
+    matrix = run_benchmarks(
+        schemes,
+        benchmarks=benchmarks,
+        scale=scale,
+        profiler=profiler,
+        max_workers=args.jobs,
+        run_cache=run_cache,
+    )
+    table = matrix.metric_table(lambda result: result.mpki)
+    print(format_table(table, matrix.schemes, title="MPKI"))
+    for failure in matrix.failures:
+        print(f"FAILED {failure.scheme} on {failure.workload}: "
+              f"{failure.error_type}: {failure.message}")
+    if run_cache is not None:
+        print(f"run cache ({run_cache.root}): {run_cache.hits} hit(s), "
+              f"{run_cache.misses} miss(es), {len(run_cache)} stored")
+    if args.profile or args.profile_json:
+        _finish_profile(profiler, args)
+    return 1 if matrix.failures else 0
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -313,6 +348,35 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scale_arguments(compare_parser)
     _add_profile_arguments(compare_parser)
     compare_parser.set_defaults(handler=_cmd_compare)
+
+    bench_parser = commands.add_parser(
+        "bench",
+        help="scheme x benchmark grid with parallelism and run caching",
+    )
+    bench_parser.add_argument(
+        "--schemes", default="lru,dip,stem",
+        help="comma-separated scheme list (default lru,dip,stem)"
+    )
+    bench_parser.add_argument(
+        "--benchmarks", default=None,
+        help="comma-separated benchmark list (default: all)"
+    )
+    bench_parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="shard grid cells across N worker processes"
+    )
+    bench_parser.add_argument(
+        "--run-cache", metavar="DIR", default=".repro-run-cache",
+        help="content-addressed run cache directory "
+             "(default .repro-run-cache)"
+    )
+    bench_parser.add_argument(
+        "--no-run-cache", action="store_true",
+        help="always simulate; do not read or write the run cache"
+    )
+    _add_scale_arguments(bench_parser)
+    _add_profile_arguments(bench_parser)
+    bench_parser.set_defaults(handler=_cmd_bench)
 
     trace_parser = commands.add_parser(
         "trace", help="run one scheme with event tracing"

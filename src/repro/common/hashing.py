@@ -61,7 +61,17 @@ class H3Hash:
         Width of the signature (``m`` in the paper; Table 3 uses 10).
     seed:
         Seed for the LFSR that draws the random GF(2) matrix.
+
+    Signatures are memoised per instance: tag streams repeat heavily, so
+    most calls become a single dict hit instead of ``out_bits`` parity
+    reductions.  The memo is bounded to keep pathological tag streams
+    from growing it without limit.
     """
+
+    __slots__ = ("in_bits", "out_bits", "_rows", "_mask", "_memo")
+
+    #: Maximum memoised signatures before the memo is reset.
+    _MEMO_LIMIT = 1 << 20
 
     def __init__(self, in_bits: int, out_bits: int, seed: int = 0xACE1) -> None:
         if in_bits <= 0:
@@ -84,12 +94,20 @@ class H3Hash:
             rows.append(row)
         self._rows = rows
         self._mask = (1 << out_bits) - 1
+        self._memo: dict = {}
 
     def __call__(self, value: int) -> int:
         """Hash ``value`` down to ``out_bits`` bits."""
+        memo = self._memo
+        cached = memo.get(value)
+        if cached is not None:
+            return cached
         result = 0
         for i, row in enumerate(self._rows):
             result |= parity(value & row) << i
+        if len(memo) >= self._MEMO_LIMIT:
+            memo.clear()
+        memo[value] = result
         return result
 
     def collision_probability(self) -> float:

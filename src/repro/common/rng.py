@@ -12,10 +12,18 @@ trivially cheap, which keeps every simulation bit-for-bit reproducible.
 
 from __future__ import annotations
 
+from typing import Dict, List, Tuple
+
 from repro.common.errors import ConfigError
 
 #: Taps for a maximal-length 16-bit Fibonacci LFSR (x^16+x^14+x^13+x^11+1).
 _TAPS_16 = (15, 13, 12, 10)
+
+#: next_bits() calls of one width before a jump table is built for it.
+#: Cold widths (H3 matrix setup draws a handful of 16-bit values) never
+#: pay the one-time table construction; hot widths (BIP/STEM throttle
+#: decisions, millions per run) amortise it within a fraction of a run.
+_JUMP_BUILD_THRESHOLD = 4096
 
 
 class Lfsr:
@@ -24,7 +32,22 @@ class Lfsr:
     The period is 2**16 - 1, which is ample for deciding 1/2^n events; the
     statistical quality requirements here are modest (the hardware being
     modelled would use something equally simple).
+
+    Hot widths are served from class-level *jump tables*: for a width
+    ``w``, ``_JUMP_TABLES[w]`` maps every 16-bit state to the value of
+    the next ``w`` output bits and to the state after emitting them, so
+    ``next_bits``/``one_in`` become two list lookups instead of ``w``
+    shift-register steps.  Tables are built lazily (after
+    ``_JUMP_BUILD_THRESHOLD`` uses of a width, or on demand via
+    :meth:`jump_table`) by stepping the *same* recurrence, so the output
+    stream is bit-for-bit identical with and without them.
     """
+
+    __slots__ = ("_state",)
+
+    #: width -> (value-of-next-w-bits per state, state after w steps).
+    _JUMP_TABLES: Dict[int, Tuple[List[int], List[int]]] = {}
+    _JUMP_USE_COUNTS: Dict[int, int] = {}
 
     def __init__(self, seed: int = 0xACE1) -> None:
         seed &= 0xFFFF
@@ -45,10 +68,52 @@ class Lfsr:
         self._state = ((s << 1) | bit) & 0xFFFF
         return bit
 
-    def next_bits(self, width: int) -> int:
-        """Return ``width`` fresh pseudo-random bits as an integer."""
+    @classmethod
+    def jump_table(cls, width: int) -> Tuple[List[int], List[int]]:
+        """Build (or fetch) the width-step jump table.
+
+        Index the two returned lists by the current 16-bit state: the
+        first yields ``next_bits(width)``'s value, the second the state
+        afterwards.  State 0 is unreachable (the all-zero LFSR state is
+        rejected at construction) and maps to itself.
+        """
         if width <= 0:
             raise ConfigError(f"width must be positive, got {width}")
+        table = cls._JUMP_TABLES.get(width)
+        if table is None:
+            values = [0] * 0x10000
+            states = [0] * 0x10000
+            for start in range(1, 0x10000):
+                state = start
+                value = 0
+                for _ in range(width):
+                    bit = ((state >> 15) ^ (state >> 13)
+                           ^ (state >> 12) ^ (state >> 10)) & 1
+                    state = ((state << 1) | bit) & 0xFFFF
+                    value = (value << 1) | bit
+                values[start] = value
+                states[start] = state
+            table = (values, states)
+            cls._JUMP_TABLES[width] = table
+        return table
+
+    def next_bits(self, width: int) -> int:
+        """Return ``width`` fresh pseudo-random bits as an integer."""
+        table = Lfsr._JUMP_TABLES.get(width)
+        if table is not None:
+            values, states = table
+            s = self._state
+            self._state = states[s]
+            return values[s]
+        if width <= 0:
+            raise ConfigError(f"width must be positive, got {width}")
+        counts = Lfsr._JUMP_USE_COUNTS
+        counts[width] = uses = counts.get(width, 0) + 1
+        if uses >= _JUMP_BUILD_THRESHOLD:
+            values, states = Lfsr.jump_table(width)
+            s = self._state
+            self._state = states[s]
+            return values[s]
         value = 0
         for _ in range(width):
             value = (value << 1) | self.next_bit()

@@ -11,7 +11,7 @@ from dataclasses import dataclass, field, fields
 from typing import Dict, Tuple
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheStats:
     """Counters accumulated by a cache over a simulation run.
 

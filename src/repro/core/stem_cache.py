@@ -122,6 +122,9 @@ class StemCache:
             # Shadow the class method with the guarded path so the
             # default configuration pays zero overhead per access.
             self.access = self._guarded_access  # type: ignore[method-assign]
+            # The batched fast path would bypass the guard; force the
+            # simulator back onto the scalar (guarded) loop.
+            self.access_batch = None  # type: ignore[method-assign]
 
     # ------------------------------------------------------------------
     # Access path
@@ -145,6 +148,15 @@ class StemCache:
             order.append(way)
             self._maybe_post_giver(set_index, monitor)
             return AccessKind.LOCAL_HIT
+        return self._access_miss(set_index, tag, is_write)
+
+    def _access_miss(self, set_index: int, tag: int, is_write: bool) -> AccessKind:
+        """Miss half of the controller flow (after the local-hit probe).
+
+        Split out of :meth:`access` so :meth:`access_batch` can inline
+        the hot local-hit path and fall into exactly this code on a miss.
+        """
+        stats = self.stats
         probed_coop = False
         if self._coupled_role[set_index] == _TAKER:
             giver = self.association.partner_of(set_index)
@@ -166,7 +178,18 @@ class StemCache:
             stats.misses_single_probe += 1
         monitor = self.monitors[set_index]
         signature = self._hash(tag)
-        if monitor.probe_shadow(signature):
+        # Inlined SetMonitor.probe_shadow (this is the hottest miss-path
+        # call): invalidate on hit, pulse both saturating counters.
+        shadow = monitor.shadow
+        if signature in shadow._members:
+            shadow._members.discard(signature)
+            shadow._order.remove(signature)
+            counter = monitor.sc_s
+            if counter._value < counter.max_value:
+                counter._value += 1
+            counter = monitor.sc_t
+            if counter._value < counter.max_value:
+                counter._value += 1
             stats.shadow_hits += 1
             tracer = self.tracer
             if tracer.enabled:
@@ -190,6 +213,103 @@ class StemCache:
             monitor.acknowledge_policy_swap()
         self._maybe_post_giver(set_index, monitor)
         return AccessKind.MISS_COOP if probed_coop else AccessKind.MISS
+
+    def access_batch(
+        self,
+        addresses,
+        set_indices,
+        tags,
+        writes,
+        start: int,
+        stop: int,
+    ) -> None:
+        """Process accesses ``[start, stop)`` from precomputed arrays.
+
+        Inlines the local-hit path (recency promotion, SC_T/SC_S
+        updates via the LFSR jump table, giver posting) and defers every
+        miss to :meth:`_access_miss`, so final state and statistics are
+        identical to the scalar loop.  Locally accumulated counters are
+        flushed into :attr:`stats` before each miss, keeping any
+        mid-run reader exact.  With a tracer attached, falls back to
+        the scalar path so per-event ``stats.accesses`` stays exact.
+        """
+        if self.tracer.enabled:
+            access = self.access
+            if writes is None:
+                for n in range(start, stop):
+                    access(addresses[n])
+            else:
+                for n in range(start, stop):
+                    access(addresses[n], writes[n])
+            return
+        config = self.config
+        stats = self.stats
+        lookup = self._lookup
+        orders = self._order
+        dirty_rows = self._dirty
+        monitors = self.monitors
+        roles = self._coupled_role
+        safe = self._in_safe_mode
+        heap_offer = self.heap.offer
+        rng = self.rng
+        miss = self._access_miss
+        spatial = config.enable_spatial
+        giver_bit = 1 << (config.counter_bits - 1)
+        ratio_bits = config.spatial_ratio_bits
+        if ratio_bits > 0:
+            jump_vals, jump_states = Lfsr.jump_table(ratio_bits)
+        else:
+            jump_vals = jump_states = None
+        if config.bip_throttle_bits > 0:
+            # Misses decide BIP throttling through next_bits(); having
+            # the table ready makes that a pair of list lookups too.
+            Lfsr.jump_table(config.bip_throttle_bits)
+        has_writes = writes is not None
+        acc = hits = 0
+        for n in range(start, stop):
+            set_index = set_indices[n]
+            tag = tags[n]
+            way = lookup[set_index].get(tag << 1)
+            if way is None:
+                stats.accesses += acc + 1
+                stats.hits += hits
+                stats.local_hits += hits
+                acc = hits = 0
+                miss(set_index, tag, has_writes and bool(writes[n]))
+                continue
+            acc += 1
+            hits += 1
+            monitor = monitors[set_index]
+            # Inlined SetMonitor.record_local_hit: SC_T -1 always,
+            # SC_S -1 once per 2**ratio_bits hits (LFSR-decided).
+            sc_t = monitor.sc_t
+            value = sc_t._value
+            if value:
+                sc_t._value = value - 1
+            if jump_states is None:
+                spatial_decrement = True
+            else:
+                state = rng._state
+                rng._state = jump_states[state]
+                spatial_decrement = not jump_vals[state]
+            sc_s = monitor.sc_s
+            if spatial_decrement:
+                value = sc_s._value
+                if value:
+                    sc_s._value = value - 1
+            if has_writes and writes[n]:
+                dirty_rows[set_index][way] = True
+            order = orders[set_index]
+            order.remove(way)
+            order.append(way)
+            # Inlined _maybe_post_giver for the hit path.
+            if spatial and roles[set_index] == 0 and not safe[set_index]:
+                value = sc_s._value
+                if value < giver_bit:
+                    heap_offer(set_index, value)
+        stats.accesses += acc
+        stats.hits += hits
+        stats.local_hits += hits
 
     # ------------------------------------------------------------------
     # Fill / spill machinery
@@ -310,7 +430,7 @@ class StemCache:
     def _insert_at_mru(self, set_index: int) -> bool:
         if self._mode[set_index] == _MODE_LRU:
             return True
-        return self.rng.one_in(self.config.bip_throttle_bits)
+        return self._throttle_mru()
 
     def _shadow_insert_at_mru(self, set_index: int) -> bool:
         """Insertion rank in the shadow set (opposite policy, §4.3)."""
@@ -319,7 +439,24 @@ class StemCache:
             shadow_mode ^= 1
         if shadow_mode == _MODE_LRU:
             return True
-        return self.rng.one_in(self.config.bip_throttle_bits)
+        return self._throttle_mru()
+
+    def _throttle_mru(self) -> bool:
+        """BIP's 1-in-2**throttle MRU decision, jump-table accelerated.
+
+        Identical output stream to ``rng.one_in(bits)`` — the table is
+        an exact one-shot encoding of ``bits`` LFSR steps.
+        """
+        bits = self.config.bip_throttle_bits
+        if bits <= 0:
+            return True
+        table = Lfsr._JUMP_TABLES.get(bits)
+        if table is None:
+            return self.rng.one_in(bits)
+        rng = self.rng
+        state = rng._state
+        rng._state = table[1][state]
+        return not table[0][state]
 
     def _remove(self, set_index: int, way: int) -> None:
         key = self._way_key[set_index][way]

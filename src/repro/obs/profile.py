@@ -68,10 +68,22 @@ class PhaseTimer:
 
 
 class RunProfiler:
-    """Accumulates :class:`ProfileRecord` rows across a batch of runs."""
+    """Accumulates :class:`ProfileRecord` rows across a batch of runs.
+
+    When grids run with a content-addressed run cache, the runner calls
+    :meth:`note_run_cache` so the report can show how much simulation
+    the cache avoided.
+    """
 
     def __init__(self) -> None:
         self.records: List[ProfileRecord] = []
+        self.run_cache_hits = 0
+        self.run_cache_misses = 0
+
+    def note_run_cache(self, hits: int, misses: int) -> None:
+        """Record run-cache traffic observed by a grid run."""
+        self.run_cache_hits += hits
+        self.run_cache_misses += misses
 
     def add(self, result: Any) -> Optional[ProfileRecord]:
         """Ingest one ``RunResult`` (reads its attached manifest)."""
@@ -121,10 +133,21 @@ class RunProfiler:
         total_s = sum(r.wall_clock_seconds for r in self.records)
         lines.append(f"total simulation wall-clock: {total_s:.3f}s "
                      f"over {len(self.records)} run(s)")
+        if self.run_cache_hits or self.run_cache_misses:
+            lines.append(
+                f"run cache: {self.run_cache_hits} hit(s), "
+                f"{self.run_cache_misses} miss(es)"
+            )
         return "\n".join(lines)
 
     def to_bench_json(self) -> Dict[str, Any]:
-        """A ``pytest-benchmark``-shaped document of the collected runs."""
+        """A ``pytest-benchmark``-shaped document of the collected runs.
+
+        Benchmarks are sorted by (group, name) so the JSON is
+        byte-stable regardless of the order runs were collected —
+        parallel grids complete cells in scheduling order, and
+        ``--profile-json`` artefacts must still diff cleanly.
+        """
         benchmarks = []
         for record in self.records:
             seconds = record.measured_seconds
@@ -145,13 +168,20 @@ class RunProfiler:
                     "measured_accesses": record.measured_accesses,
                 },
             })
-        return {
+        benchmarks.sort(key=lambda row: (row["group"], row["name"]))
+        document: Dict[str, Any] = {
             "machine_info": {
                 "python_version": sys.version.split()[0],
                 "platform": platform.platform(),
             },
             "benchmarks": benchmarks,
         }
+        if self.run_cache_hits or self.run_cache_misses:
+            document["run_cache"] = {
+                "hits": self.run_cache_hits,
+                "misses": self.run_cache_misses,
+            }
+        return document
 
     def save_bench_json(self, path: Union[str, Path]) -> None:
         """Write :meth:`to_bench_json` to ``path`` atomically."""

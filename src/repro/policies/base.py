@@ -36,6 +36,10 @@ class ReplacementPolicy(ABC):
     #: Human-readable policy name used in result tables.
     name = "base"
 
+    #: True when ``on_hit`` is a no-op, letting batched loops skip the
+    #: call entirely (FIFO is the only stock policy that qualifies).
+    batch_hit_noop = False
+
     def __init__(self) -> None:
         self.num_sets = 0
         self.associativity = 0
@@ -78,6 +82,11 @@ class RecencyPolicy(ReplacementPolicy):
     decide whether a *fill* lands at MRU or LRU — the famous one-bit
     difference that separates LRU from LIP/BIP (Qureshi et al., 2007).
     """
+
+    #: Constant insertion position for the batched fast path: True (MRU),
+    #: False (LRU) or None when the decision is dynamic and
+    #: :meth:`_insert_at_mru` must be consulted per fill (BIP/DIP).
+    batch_insert_mru: Optional[bool] = None
 
     def __init__(self) -> None:
         super().__init__()

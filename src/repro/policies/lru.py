@@ -12,6 +12,7 @@ class LruPolicy(RecencyPolicy):
     """
 
     name = "LRU"
+    batch_insert_mru = True
 
     def _insert_at_mru(self, set_index: int) -> bool:
         return True
@@ -25,6 +26,7 @@ class LipPolicy(RecencyPolicy):
     """
 
     name = "LIP"
+    batch_insert_mru = False
 
     def _insert_at_mru(self, set_index: int) -> bool:
         return False
@@ -34,6 +36,8 @@ class FifoPolicy(RecencyPolicy):
     """First-In First-Out: insertion order only, hits do not promote."""
 
     name = "FIFO"
+    batch_insert_mru = True
+    batch_hit_noop = True
 
     def _insert_at_mru(self, set_index: int) -> bool:
         return True

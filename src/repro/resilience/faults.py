@@ -364,6 +364,10 @@ class InjectingCache:
     faulted run unchanged.
     """
 
+    #: Mask the wrapped cache's batched fast path: ``__getattr__`` would
+    #: otherwise hand the simulator a loop that skips fault injection.
+    access_batch = None
+
     def __init__(self, cache: Any, injector: FaultInjector) -> None:
         self._cache = cache
         self._injector = injector

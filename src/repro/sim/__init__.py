@@ -8,6 +8,8 @@ from repro.sim.config import (
     canonical_scheme_name,
     make_scheme,
 )
+from repro.sim.cache import RunCache
+from repro.sim.parallel import CellSpec, ParallelRunner, cell_cache_key
 from repro.sim.replication import (
     ReplicationSummary,
     compare_with_confidence,
@@ -24,15 +26,19 @@ from repro.sim.simulator import RunResult, run_trace
 from repro.sim.timeline import Timeline, run_timeline
 
 __all__ = [
+    "CellSpec",
     "ExperimentScale",
     "MachineConfig",
     "PAPER_SCHEMES",
+    "ParallelRunner",
     "ReplicationSummary",
     "ResultMatrix",
+    "RunCache",
     "RunFailure",
     "RunResult",
     "Timeline",
     "associativity_sweep",
+    "cell_cache_key",
     "available_schemes",
     "canonical_scheme_name",
     "compare_with_confidence",

@@ -1,0 +1,116 @@
+"""Content-addressed run cache: skip cells that were already simulated.
+
+A simulation cell is a pure function of its deterministic inputs —
+scheme configuration, geometry, seed, trace content, warm-up split and
+timing model — all of which are folded into the cell key by
+:func:`~repro.sim.parallel.cell_cache_key`.  :class:`RunCache` persists
+each finished :class:`~repro.sim.simulator.RunResult` as JSON under
+that key (via ``atomic_write_text``, so a crash mid-store can never
+leave a truncated entry), and repeated grid runs return the stored
+result without simulating anything.
+
+Only *successful first-attempt* results are stored: failures carry no
+reusable state, and a retry-reseeded success was produced by a
+different seed than the key claims.  Loading is defensive — a missing,
+corrupt, or format-incompatible entry is simply a miss.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.analysis.metrics import MetricSet
+from repro.common.io import atomic_write_text
+from repro.common.stats import CacheStats
+from repro.obs.manifest import RunManifest
+from repro.sim.simulator import RunResult
+
+#: Bumped whenever the stored layout changes; mismatches load as misses.
+_FORMAT = 1
+
+
+def result_to_dict(result: RunResult) -> Dict[str, Any]:
+    """Flatten a :class:`RunResult` (and nested dataclasses) to JSON."""
+    return {
+        "scheme": result.scheme,
+        "trace_name": result.trace_name,
+        "stats": asdict(result.stats),
+        "measured_accesses": result.measured_accesses,
+        "measured_instructions": result.measured_instructions,
+        "metrics": asdict(result.metrics),
+        "manifest": (
+            asdict(result.manifest) if result.manifest is not None else None
+        ),
+    }
+
+
+def result_from_dict(payload: Dict[str, Any]) -> RunResult:
+    """Rebuild a :class:`RunResult` stored by :func:`result_to_dict`."""
+    manifest_payload = payload.get("manifest")
+    return RunResult(
+        scheme=payload["scheme"],
+        trace_name=payload["trace_name"],
+        stats=CacheStats(**payload["stats"]),
+        measured_accesses=payload["measured_accesses"],
+        measured_instructions=payload["measured_instructions"],
+        metrics=MetricSet(**payload["metrics"]),
+        manifest=(
+            RunManifest(**manifest_payload)
+            if manifest_payload is not None else None
+        ),
+    )
+
+
+class RunCache:
+    """Directory-backed store of finished runs keyed by content hash.
+
+    Entries are sharded by the first two hex digits of the key so a
+    large grid does not put thousands of files in one directory.
+    ``hits``/``misses`` count :meth:`get` outcomes for the profiler's
+    report surface.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: str) -> Path:
+        """Where the entry for ``key`` lives (whether or not it exists)."""
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[RunResult]:
+        """The stored result for ``key``, or None (counted as a miss)."""
+        path = self.path_for(key)
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+            if document.get("format") != _FORMAT:
+                raise ValueError("format mismatch")
+            if document.get("key") != key:
+                raise ValueError("key mismatch")
+            result = result_from_dict(document["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: RunResult) -> Path:
+        """Persist ``result`` under ``key`` atomically; returns the path."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        document = {
+            "format": _FORMAT,
+            "key": key,
+            "result": result_to_dict(result),
+        }
+        atomic_write_text(path, json.dumps(document, sort_keys=True))
+        return path
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))

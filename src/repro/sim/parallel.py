@@ -1,0 +1,210 @@
+"""Parallel experiment engine: grid cells sharded across processes.
+
+The paper's evaluation is a large (scheme x workload x geometry) grid
+whose cells are fully independent — each builds its own cache from its
+own seed and consumes an immutable trace.  :class:`ParallelRunner`
+exploits that: every cell is described by a picklable :class:`CellSpec`,
+executed by the module-level :func:`_execute_cell` (inline, or in a
+``ProcessPoolExecutor`` worker), and the results are reassembled **by
+cell index** so the output is identical to the serial path no matter
+which worker finished first.
+
+Determinism contract
+--------------------
+* Cell seeds are assigned in the parent before any worker starts: every
+  cell receives the same ``seed`` (and, on retries, the same
+  ``RetryPolicy`` reseeding schedule ``base_seed + attempt * step``)
+  that the serial loop would have used, so per-worker seed derivation
+  is a pure function of the cell, not of scheduling.
+* Workers never share mutable state — each returns its finished
+  :class:`~repro.sim.simulator.RunResult` (or structured
+  :class:`~repro.sim.results.RunFailure`), and the parent merges
+  results, profiler records, and failure lists in canonical cell order.
+* Crash tolerance is preserved: an isolated cell still runs through
+  :func:`~repro.resilience.harness.guarded_run` inside the worker, so a
+  poisoned cell comes back as a ``RunFailure`` record, not a dead pool.
+
+An optional :class:`~repro.sim.cache.RunCache` short-circuits cells
+whose content-addressed key already has a stored result; hits never
+reach the pool at all.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.cache.geometry import CacheGeometry
+from repro.common.errors import ConfigError
+from repro.obs.manifest import build_manifest
+from repro.obs.profile import RunProfiler
+from repro.resilience.harness import RetryPolicy, guarded_run
+from repro.sim.config import MachineConfig, make_scheme
+from repro.sim.results import RunFailure
+from repro.sim.simulator import RunResult, run_trace
+from repro.workloads.trace import Trace
+
+#: One cell outcome: a finished run or a structured failure record.
+CellOutcome = Union[RunResult, RunFailure]
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """Picklable description of one (scheme, trace, geometry) grid cell.
+
+    ``scheme`` is the factory name handed to
+    :func:`~repro.sim.config.make_scheme`; ``label`` is the name used in
+    failure records (the runner passes e.g. ``"dip@8"`` for sweep
+    cells).  ``isolate`` selects between crash-tolerant
+    :func:`guarded_run` execution and fail-fast propagation, exactly
+    mirroring the serial runner's contract.
+    """
+
+    index: int
+    scheme: str
+    label: str
+    trace: Trace
+    geometry: CacheGeometry
+    seed: int
+    warmup_fraction: float = 0.25
+    machine: Optional[MachineConfig] = None
+    isolate: bool = True
+    retry: Optional[RetryPolicy] = None
+    watchdog_seconds: Optional[float] = None
+
+
+def _execute_cell(spec: CellSpec) -> CellOutcome:
+    """Run one cell; module-level so it pickles into pool workers."""
+    if not spec.isolate:
+        cache = make_scheme(spec.scheme, spec.geometry, seed=spec.seed)
+        return run_trace(
+            cache,
+            spec.trace,
+            warmup_fraction=spec.warmup_fraction,
+            machine=spec.machine,
+        )
+    return guarded_run(
+        lambda seed: make_scheme(spec.scheme, spec.geometry, seed=seed),
+        spec.trace,
+        scheme=spec.label,
+        base_seed=spec.seed,
+        retry=spec.retry,
+        watchdog_seconds=spec.watchdog_seconds,
+        warmup_fraction=spec.warmup_fraction,
+        machine=spec.machine,
+    )
+
+
+def cell_cache_key(spec: CellSpec) -> Optional[str]:
+    """Content-addressed key of a cell, or None when it has none.
+
+    Builds the scheme (cheap — allocation only, no simulation) and
+    reuses the run manifest's deterministic ``hashed_payload`` — scheme
+    class + geometry + config + trace metadata + seed + package version
+    — then extends it with what the manifest hash deliberately leaves
+    out but a cached *result* depends on: the raw trace content digest,
+    the warm-up split, and the timing-model parameters.  A cell whose
+    scheme cannot even be built (a poisoned factory) has no key; the
+    executor then takes the normal (guarded) path.
+    """
+    try:
+        cache = make_scheme(spec.scheme, spec.geometry, seed=spec.seed)
+        manifest = build_manifest(cache, spec.trace)
+    except Exception:  # noqa: BLE001 — uncacheable, not fatal
+        return None
+    machine = spec.machine if spec.machine is not None else MachineConfig()
+    payload: Dict[str, Any] = {
+        "cell": manifest.hashed_payload(),
+        "trace_digest": spec.trace.content_digest(),
+        "warmup_fraction": spec.warmup_fraction,
+        "machine": asdict(machine),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ParallelRunner:
+    """Shards :class:`CellSpec` cells across a process pool.
+
+    ``max_workers=None`` (or 1) runs every cell inline in submission
+    order — the serial path and the degenerate parallel path are the
+    same code, which is what makes the equivalence guarantee cheap to
+    maintain.  With more workers, cells run under a
+    ``ProcessPoolExecutor`` and results are stitched back by index.
+    """
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        run_cache: Optional[Any] = None,
+        profiler: Optional[RunProfiler] = None,
+    ) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ConfigError(
+                f"max_workers must be >= 1, got {max_workers}"
+            )
+        self.max_workers = max_workers
+        self.run_cache = run_cache
+        self.profiler = profiler
+
+    def run(self, specs: Sequence[CellSpec]) -> List[CellOutcome]:
+        """Execute every cell; returns outcomes in ``specs`` order."""
+        results: List[Optional[CellOutcome]] = [None] * len(specs)
+        pending: List[tuple] = []
+        run_cache = self.run_cache
+        hits_before = run_cache.hits if run_cache is not None else 0
+        misses_before = run_cache.misses if run_cache is not None else 0
+        for position, spec in enumerate(specs):
+            key = None
+            if run_cache is not None:
+                key = cell_cache_key(spec)
+                cached = run_cache.get(key) if key is not None else None
+                if cached is not None:
+                    results[position] = cached
+                    continue
+            pending.append((position, spec, key))
+        workers = self.max_workers
+        if workers is None or workers <= 1 or len(pending) <= 1:
+            for position, spec, key in pending:
+                results[position] = self._store(spec, key, _execute_cell(spec))
+        else:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(_execute_cell, spec): (position, spec, key)
+                    for position, spec, key in pending
+                }
+                for future in as_completed(futures):
+                    position, spec, key = futures[future]
+                    results[position] = self._store(spec, key, future.result())
+        if self.profiler is not None:
+            # Profiler records are merged here, in canonical cell order,
+            # from the timing payloads the workers returned — never by
+            # mutating the profiler across processes.
+            for outcome in results:
+                if isinstance(outcome, RunResult):
+                    self.profiler.add(outcome)
+            if run_cache is not None:
+                self.profiler.note_run_cache(
+                    run_cache.hits - hits_before,
+                    run_cache.misses - misses_before,
+                )
+        return list(results)
+
+    def _store(
+        self, spec: CellSpec, key: Optional[str], outcome: CellOutcome
+    ) -> CellOutcome:
+        """Persist a cacheable outcome; failures are never cached."""
+        if (
+            self.run_cache is not None
+            and key is not None
+            and isinstance(outcome, RunResult)
+            and outcome.manifest is not None
+            and outcome.manifest.seed == spec.seed
+        ):
+            # The seed guard skips retry-reseeded successes: their state
+            # diverges from what the key (built from spec.seed) claims.
+            self.run_cache.put(key, outcome)
+        return outcome

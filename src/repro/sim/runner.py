@@ -13,6 +13,15 @@ the grid completes.  A :class:`~repro.resilience.harness.RetryPolicy`
 adds retry-with-reseed, and ``watchdog_seconds`` arms a per-run
 wall-clock deadline.  Pass ``isolate=False`` to restore fail-fast
 propagation (debugging a single cell).
+
+Every grid is expressed as a list of
+:class:`~repro.sim.parallel.CellSpec` cells and executed by a
+:class:`~repro.sim.parallel.ParallelRunner` — serially by default, or
+sharded across a process pool with ``max_workers=N``.  Either way the
+cells are assembled back in canonical (trace-major, scheme-minor)
+order, so the resulting matrix is identical regardless of worker
+scheduling.  An optional :class:`~repro.sim.cache.RunCache` skips
+cells whose content-addressed key already holds a stored result.
 """
 
 from __future__ import annotations
@@ -20,10 +29,11 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.obs.profile import RunProfiler
-from repro.resilience.harness import RetryPolicy, guarded_run
-from repro.sim.config import ExperimentScale, make_scheme
+from repro.resilience.harness import RetryPolicy
+from repro.sim.config import ExperimentScale
+from repro.sim.parallel import CellSpec, ParallelRunner
 from repro.sim.results import ResultMatrix, RunFailure
-from repro.sim.simulator import RunResult, run_trace
+from repro.sim.simulator import RunResult
 from repro.workloads.spec_like import benchmark_names, make_benchmark_trace
 from repro.workloads.trace import Trace
 
@@ -37,45 +47,47 @@ def run_matrix(
     isolate: bool = True,
     retry: Optional[RetryPolicy] = None,
     watchdog_seconds: Optional[float] = None,
+    max_workers: Optional[int] = None,
+    run_cache=None,
 ) -> ResultMatrix:
     """Run every scheme on every trace at one geometry.
 
     With ``isolate`` (the default), a failing cell becomes a
     :class:`RunFailure` in ``matrix.failures`` and the grid continues;
     without it, the first exception propagates immediately.
+
+    ``max_workers`` > 1 shards the cells across a process pool; the
+    returned matrix is identical to the serial result on the same
+    seeds.  ``run_cache`` (a :class:`~repro.sim.cache.RunCache`) skips
+    cells whose inputs already have a stored result.
     """
     scale = scale if scale is not None else ExperimentScale.default()
-    matrix = ResultMatrix()
     geometry = scale.geometry()
+    specs = []
     for trace in traces:
         for scheme_name in schemes:
-            if not isolate:
-                cache = make_scheme(scheme_name, geometry, seed=seed)
-                result = run_trace(
-                    cache,
-                    trace,
-                    warmup_fraction=scale.warmup_fraction,
-                    machine=scale.machine,
-                )
-            else:
-                result = guarded_run(
-                    lambda s, name=scheme_name: make_scheme(
-                        name, geometry, seed=s
-                    ),
-                    trace,
-                    scheme=scheme_name,
-                    base_seed=seed,
-                    retry=retry,
-                    watchdog_seconds=watchdog_seconds,
-                    warmup_fraction=scale.warmup_fraction,
-                    machine=scale.machine,
-                )
-            if isinstance(result, RunFailure):
-                matrix.add_failure(result)
-                continue
-            if profiler is not None:
-                profiler.add(result)
-            matrix.add(result)
+            specs.append(CellSpec(
+                index=len(specs),
+                scheme=scheme_name,
+                label=scheme_name,
+                trace=trace,
+                geometry=geometry,
+                seed=seed,
+                warmup_fraction=scale.warmup_fraction,
+                machine=scale.machine,
+                isolate=isolate,
+                retry=retry,
+                watchdog_seconds=watchdog_seconds,
+            ))
+    runner = ParallelRunner(
+        max_workers=max_workers, run_cache=run_cache, profiler=profiler
+    )
+    matrix = ResultMatrix()
+    for outcome in runner.run(specs):
+        if isinstance(outcome, RunFailure):
+            matrix.add_failure(outcome)
+        else:
+            matrix.add(outcome)
     return matrix
 
 
@@ -88,6 +100,8 @@ def run_benchmarks(
     isolate: bool = True,
     retry: Optional[RetryPolicy] = None,
     watchdog_seconds: Optional[float] = None,
+    max_workers: Optional[int] = None,
+    run_cache=None,
 ) -> ResultMatrix:
     """Run the (selected) SPEC-like benchmarks through every scheme."""
     scale = scale if scale is not None else ExperimentScale.default()
@@ -102,7 +116,8 @@ def run_benchmarks(
     ]
     return run_matrix(traces, schemes, scale=scale, seed=seed,
                       profiler=profiler, isolate=isolate, retry=retry,
-                      watchdog_seconds=watchdog_seconds)
+                      watchdog_seconds=watchdog_seconds,
+                      max_workers=max_workers, run_cache=run_cache)
 
 
 def associativity_sweep(
@@ -115,6 +130,8 @@ def associativity_sweep(
     failures: Optional[List[RunFailure]] = None,
     retry: Optional[RetryPolicy] = None,
     watchdog_seconds: Optional[float] = None,
+    max_workers: Optional[int] = None,
+    run_cache=None,
 ) -> Dict[str, List[RunResult]]:
     """MPKI-vs-associativity curves (Figures 3 and 10).
 
@@ -128,35 +145,33 @@ def associativity_sweep(
     stay index-aligned with ``associativities``, so errors propagate.
     """
     scale = scale if scale is not None else ExperimentScale.default()
-    curves: Dict[str, List[RunResult]] = {name: [] for name in schemes}
+    isolate = failures is not None
+    specs = []
+    spec_scheme: List[str] = []
     for associativity in associativities:
         geometry = scale.geometry(associativity=associativity)
         for scheme_name in schemes:
-            if failures is None:
-                cache = make_scheme(scheme_name, geometry, seed=seed)
-                result = run_trace(
-                    cache,
-                    trace,
-                    warmup_fraction=scale.warmup_fraction,
-                    machine=scale.machine,
-                )
-            else:
-                result = guarded_run(
-                    lambda s, name=scheme_name, g=geometry: make_scheme(
-                        name, g, seed=s
-                    ),
-                    trace,
-                    scheme=f"{scheme_name}@{associativity}",
-                    base_seed=seed,
-                    retry=retry,
-                    watchdog_seconds=watchdog_seconds,
-                    warmup_fraction=scale.warmup_fraction,
-                    machine=scale.machine,
-                )
-                if isinstance(result, RunFailure):
-                    failures.append(result)
-                    continue
-            if profiler is not None:
-                profiler.add(result)
-            curves[scheme_name].append(result)
+            specs.append(CellSpec(
+                index=len(specs),
+                scheme=scheme_name,
+                label=f"{scheme_name}@{associativity}",
+                trace=trace,
+                geometry=geometry,
+                seed=seed,
+                warmup_fraction=scale.warmup_fraction,
+                machine=scale.machine,
+                isolate=isolate,
+                retry=retry,
+                watchdog_seconds=watchdog_seconds,
+            ))
+            spec_scheme.append(scheme_name)
+    runner = ParallelRunner(
+        max_workers=max_workers, run_cache=run_cache, profiler=profiler
+    )
+    curves: Dict[str, List[RunResult]] = {name: [] for name in schemes}
+    for scheme_name, outcome in zip(spec_scheme, runner.run(specs)):
+        if isinstance(outcome, RunFailure):
+            failures.append(outcome)
+            continue
+        curves[scheme_name].append(outcome)
     return curves

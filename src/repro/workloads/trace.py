@@ -10,10 +10,12 @@ through a small text format for archiving.
 
 from __future__ import annotations
 
+import hashlib
 import json
+from array import array
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.common.errors import TraceError
 from repro.common.io import atomic_write
@@ -49,6 +51,14 @@ class Trace:
     metadata: TraceMetadata
     addresses: List[int]
     writes: Optional[List[bool]] = field(default=None)
+    #: (offset_bits, index_bits) -> (set_indices, tags); derived, never
+    #: compared, pickled, or persisted.
+    _geometry_cache: Dict[Tuple[int, int], Tuple[List[int], List[int]]] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+    _content_digest: Optional[str] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.writes is not None and len(self.writes) != len(self.addresses):
@@ -56,6 +66,59 @@ class Trace:
                 "writes mask length does not match the address stream: "
                 f"{len(self.writes)} vs {len(self.addresses)}"
             )
+
+    def __getstate__(self) -> dict:
+        # Derived caches can be large (two ints per access per geometry);
+        # drop them so parallel-worker job payloads stay small.  Workers
+        # recompute lazily on first use.
+        state = dict(self.__dict__)
+        state["_geometry_cache"] = {}
+        return state
+
+    def precompute_geometry(
+        self, mapper
+    ) -> Tuple[List[int], List[int]]:
+        """Split every address through ``mapper`` once, with caching.
+
+        Returns ``(set_indices, tags)`` lists index-aligned with
+        :attr:`addresses`, so hot loops can skip the per-access
+        shift/mask work entirely.  Results are cached per
+        ``(offset_bits, index_bits)`` geometry; mutating
+        :attr:`addresses` after the first call is unsupported.
+        """
+        key = (mapper.offset_bits, mapper.index_bits)
+        cached = self._geometry_cache.get(key)
+        if cached is not None:
+            return cached
+        offset_bits, index_bits = key
+        index_mask = (1 << index_bits) - 1
+        set_indices: List[int] = []
+        tags: List[int] = []
+        append_index = set_indices.append
+        append_tag = tags.append
+        for address in self.addresses:
+            block = address >> offset_bits
+            append_index(block & index_mask)
+            append_tag(block >> index_bits)
+        entry = (set_indices, tags)
+        self._geometry_cache[key] = entry
+        return entry
+
+    def content_digest(self) -> str:
+        """SHA-256 digest over the raw access stream.
+
+        Covers addresses and write flags (not metadata); used as the
+        trace component of content-addressed run-cache keys, where the
+        *data* fed to the simulator is what must match.
+        """
+        if self._content_digest is None:
+            hasher = hashlib.sha256()
+            hasher.update(array("Q", self.addresses).tobytes())
+            if self.writes is not None:
+                hasher.update(b"w")
+                hasher.update(bytes(bytearray(self.writes)))
+            self._content_digest = hasher.hexdigest()
+        return self._content_digest
 
     def __len__(self) -> int:
         return len(self.addresses)

@@ -64,6 +64,29 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "classification" in output
 
+    def test_bench(self, capsys, tmp_path):
+        cache_dir = tmp_path / "runs"
+        argv = [
+            "bench", "--schemes", "lru,stem", "--benchmarks", "vpr",
+            "--jobs", "2", "--sets", "32", "--length", "8000",
+            "--run-cache", str(cache_dir),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "MPKI" in first
+        assert "0 hit(s), 2 miss(es)" in first
+        # Second invocation serves both cells from the run cache.
+        assert main(argv) == 0
+        assert "2 hit(s), 0 miss(es)" in capsys.readouterr().out
+
+    def test_bench_no_run_cache(self, capsys):
+        code = main([
+            "bench", "--schemes", "lru", "--benchmarks", "vpr",
+            "--sets", "32", "--length", "6000", "--no-run-cache",
+        ])
+        assert code == 0
+        assert "run cache" not in capsys.readouterr().out
+
     def test_overhead(self, capsys):
         assert main(["overhead"]) == 0
         assert "3.1" in capsys.readouterr().out.replace("3.16", "3.1")
