@@ -63,6 +63,9 @@ class SetAssociativeCache:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         policy.attach(geometry.num_sets, geometry.associativity, self.rng)
         self.stats = CacheStats()
+        # Lifetime accesses folded in by reset_stats(); underscore-
+        # prefixed so the manifest's scheme-config hash ignores it.
+        self._access_base = 0
         num_sets = geometry.num_sets
         assoc = geometry.associativity
         self._tag_to_way: List[dict] = [{} for _ in range(num_sets)]
@@ -267,6 +270,7 @@ class SetAssociativeCache:
             tracer.emit(Eviction(
                 access=self.stats.accesses,
                 set_index=set_index,
+                global_access=self._access_base + self.stats.accesses,
                 tag=old_tag,
                 dirty=dirty,
             ))
@@ -313,8 +317,34 @@ class SetAssociativeCache:
             )
         return views
 
+    @property
+    def global_accesses(self) -> int:
+        """Lifetime access count; reset_stats() does not rewind it."""
+        return self._access_base + self.stats.accesses
+
+    def metrics_gauges(self) -> dict:
+        """Instantaneous state sampled by a metrics registry.
+
+        Called at window boundaries only — never from the access path —
+        so the zero-overhead-when-disabled contract holds.
+        """
+        capacity = self.geometry.num_sets * self.geometry.associativity
+        filled = sum(len(table) for table in self._tag_to_way)
+        return {"occupancy_fraction": filled / capacity}
+
+    def metrics_per_set(self) -> dict:
+        """Per-set rows sampled by a metrics registry (heatmap data)."""
+        return {
+            "occupancy": [len(table) for table in self._tag_to_way]
+        }
+
     def reset_stats(self) -> None:
-        """Zero the statistics (e.g. after a warm-up phase)."""
+        """Zero the statistics (e.g. after a warm-up phase).
+
+        The lifetime clock behind event ``global_access`` stamps keeps
+        running: the zeroed window counters fold into ``_access_base``.
+        """
+        self._access_base += self.stats.accesses
         self.stats = CacheStats()
 
     def check_invariants(self) -> None:

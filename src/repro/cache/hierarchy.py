@@ -115,6 +115,29 @@ class CacheHierarchy:
             return 0.0
         return self.total_cycles / accesses
 
+    @property
+    def stats(self):
+        """Counter view of the hierarchy: the LLC's statistics.
+
+        Lets a :class:`~repro.obs.metrics.MetricsRegistry` sample a
+        hierarchy like any single-level scheme (the L1 is a fixed
+        filter; the LLC is where the schemes differ).
+        """
+        return self.llc.stats
+
+    def metrics_gauges(self) -> dict:
+        """MSHR and write-buffer occupancy for the metrics registry."""
+        gauges = {
+            "l1_mshr_outstanding": float(self.l1_mshr.outstanding),
+            "llc_mshr_outstanding": float(self.llc_mshr.outstanding),
+            "l1_write_buffer_occupancy": float(self.l1_wb.occupancy),
+            "llc_write_buffer_occupancy": float(self.llc_wb.occupancy),
+        }
+        llc_gauges = getattr(self.llc, "metrics_gauges", None)
+        if llc_gauges is not None:
+            gauges.update(llc_gauges())
+        return gauges
+
     def drain(self) -> None:
         """Flush write buffers at the end of a run."""
         for buffer in (self.l1_wb, self.llc_wb):

@@ -3,13 +3,19 @@
 Commands
 --------
 ``run``      simulate one scheme on one benchmark and print the metrics
+             (``--window N`` adds windowed metrics; ``--save-run``,
+             ``--series-jsonl`` and ``--series-prom`` export them)
 ``compare``  run several schemes on one benchmark side by side
 ``bench``    run a scheme x benchmark grid, optionally in parallel
              (``--jobs N``) and with a content-addressed run cache
+``diff``     compare two runs — saved run files or scheme names run
+             in-process — as a byte-stable delta report
 ``trace``    run one scheme with event tracing (JSONL log + aggregates)
 ``sweep``    MPKI vs associativity for chosen schemes
 ``faults``   deterministic fault-injection campaign + degradation report
 ``profile``  Figure 1-style capacity-demand profile + classification
+``report``   analysis report for one benchmark; ``--out PAGE.html``
+             renders the self-contained HTML dashboard instead
 ``figure``   regenerate one of the paper's figures/tables by name
 ``overhead`` print the Table 3 storage budget
 ``list``     enumerate available schemes and benchmarks
@@ -23,6 +29,7 @@ from __future__ import annotations
 
 import argparse
 import json
+from pathlib import Path
 from typing import List, Optional
 
 from repro.analysis.capacity_demand import profile_capacity_demand
@@ -44,13 +51,16 @@ from repro.experiments import (
     traffic,
 )
 from repro.analysis.report import build_report, render_report
+from repro.common.io import atomic_write_text
+from repro.obs.diff import diff_results
+from repro.obs.htmlreport import diff_to_html, render_run_html
 from repro.obs.profile import PhaseTimer, RunProfiler
 from repro.obs.sinks import JsonlSink, RingBufferSink
 from repro.obs.tracer import Tracer
 from repro.obs.inspect import summarize_events
 from repro.resilience.campaign import run_fault_campaign
 from repro.resilience.faults import FAULT_TARGETS
-from repro.sim.cache import RunCache
+from repro.sim.cache import RunCache, load_run, save_run
 from repro.sim.config import ExperimentScale, available_schemes, make_scheme
 from repro.sim.results import format_series, format_table
 from repro.sim.runner import associativity_sweep, run_benchmarks
@@ -119,10 +129,27 @@ def _cmd_run(args: argparse.Namespace) -> int:
         args.benchmark, num_sets=scale.num_sets, length=scale.trace_length
     )
     cache = make_scheme(args.scheme, scale.geometry())
-    result = run_trace(cache, trace, warmup_fraction=scale.warmup_fraction)
+    result = run_trace(
+        cache, trace,
+        warmup_fraction=scale.warmup_fraction,
+        metrics_window=args.window,
+    )
     print(f"{result.scheme} on {result.trace_name}: "
           f"MPKI={result.mpki:.3f}  AMAT={result.amat:.2f}  "
           f"CPI={result.cpi:.3f}  miss_rate={result.miss_rate:.3f}")
+    if result.series is not None:
+        print(f"metrics: {result.series.num_windows} windows of "
+              f"{result.series.window_length} accesses, "
+              f"{len(result.series.series)} series")
+        if args.series_jsonl:
+            result.series.save_jsonl(args.series_jsonl)
+            print(f"wrote series JSONL to {args.series_jsonl}")
+        if args.series_prom:
+            result.series.save_prometheus(args.series_prom)
+            print(f"wrote Prometheus text to {args.series_prom}")
+    if args.save_run:
+        save_run(args.save_run, result)
+        print(f"wrote run to {args.save_run}")
     if args.profile or args.profile_json:
         profiler = RunProfiler()
         profiler.add(result)
@@ -291,10 +318,60 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _windowed_run(scheme: str, benchmark: str, scale, window: int):
+    """One in-process run with windowed metrics (diff/report inputs)."""
+    trace = make_benchmark_trace(
+        benchmark, num_sets=scale.num_sets, length=scale.trace_length
+    )
+    cache = make_scheme(scheme, scale.geometry())
+    return run_trace(
+        cache, trace,
+        warmup_fraction=scale.warmup_fraction,
+        metrics_window=window,
+    )
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    scale = _scale_from(args)
+
+    def resolve(operand: str):
+        # A path to a saved run wins; anything else is a scheme name
+        # simulated in-process on --benchmark at the current scale.
+        if Path(operand).is_file():
+            return load_run(operand)
+        return _windowed_run(operand, args.benchmark, scale, args.window)
+
+    diff = diff_results(resolve(args.a), resolve(args.b), top_k=args.top_k)
+    rendered = diff.render()
+    if args.json:
+        atomic_write_text(
+            Path(args.json),
+            json.dumps(diff.as_dict(), indent=2, sort_keys=True) + "\n",
+        )
+        print(f"wrote diff JSON to {args.json}")
+    if args.out:
+        atomic_write_text(Path(args.out), rendered)
+        print(f"wrote diff report to {args.out}")
+    else:
+        print(rendered, end="")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     scale = _scale_from(args)
-    report = build_report(args.benchmark, scale=scale)
-    print(render_report(report))
+    if not args.out:
+        # Legacy surface: the plain-text analysis report on stdout.
+        report = build_report(args.benchmark, scale=scale)
+        print(render_report(report))
+        return 0
+    run_a = _windowed_run(args.scheme, args.benchmark, scale, args.window)
+    if args.vs:
+        run_b = _windowed_run(args.vs, args.benchmark, scale, args.window)
+        html = diff_to_html(run_a, run_b)
+    else:
+        html = render_run_html(run_a)
+    atomic_write_text(Path(args.out), html)
+    print(f"wrote HTML report to {args.out}")
     return 0
 
 
@@ -334,6 +411,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument("scheme")
     run_parser.add_argument("benchmark", choices=benchmark_names())
+    run_parser.add_argument(
+        "--window", type=int, default=None, metavar="N",
+        help="sample windowed metrics every N accesses"
+    )
+    run_parser.add_argument(
+        "--save-run", metavar="PATH", default=None,
+        help="save the full run (stats, metrics, series) as JSON"
+    )
+    run_parser.add_argument(
+        "--series-jsonl", metavar="PATH", default=None,
+        help="export the windowed series as JSONL (needs --window)"
+    )
+    run_parser.add_argument(
+        "--series-prom", metavar="PATH", default=None,
+        help="export Prometheus-style text metrics (needs --window)"
+    )
     _add_scale_arguments(run_parser)
     _add_profile_arguments(run_parser)
     run_parser.set_defaults(handler=_cmd_run)
@@ -377,6 +470,41 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scale_arguments(bench_parser)
     _add_profile_arguments(bench_parser)
     bench_parser.set_defaults(handler=_cmd_bench)
+
+    diff_parser = commands.add_parser(
+        "diff",
+        help="compare two runs (saved run files or scheme names)",
+        description=(
+            "Each operand is either a run file saved by "
+            "'repro run --save-run' or a scheme name simulated "
+            "in-process on --benchmark.  The report is byte-stable: "
+            "identical inputs render identical bytes."
+        ),
+    )
+    diff_parser.add_argument("a", help="run file or scheme name (A)")
+    diff_parser.add_argument("b", help="run file or scheme name (B)")
+    diff_parser.add_argument(
+        "--benchmark", default="mcf", choices=benchmark_names(),
+        help="benchmark for scheme-name operands (default mcf)"
+    )
+    diff_parser.add_argument(
+        "--window", type=int, default=10_000, metavar="N",
+        help="metrics window for in-process runs (default 10000)"
+    )
+    diff_parser.add_argument(
+        "--top-k", type=int, default=8, metavar="K",
+        help="diverging sets to list (default 8)"
+    )
+    diff_parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write the structured diff as JSON to PATH"
+    )
+    diff_parser.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="write the text report to PATH instead of stdout"
+    )
+    _add_scale_arguments(diff_parser)
+    diff_parser.set_defaults(handler=_cmd_diff)
 
     trace_parser = commands.add_parser(
         "trace", help="run one scheme with event tracing"
@@ -448,9 +576,27 @@ def build_parser() -> argparse.ArgumentParser:
     profile_parser.set_defaults(handler=_cmd_profile)
 
     report_parser = commands.add_parser(
-        "report", help="full analysis report for one benchmark"
+        "report",
+        help="analysis report; --out renders the HTML dashboard",
     )
     report_parser.add_argument("benchmark", choices=benchmark_names())
+    report_parser.add_argument(
+        "--scheme", default="stem",
+        help="scheme for the HTML dashboard (default stem)"
+    )
+    report_parser.add_argument(
+        "--vs", metavar="SCHEME", default=None,
+        help="render an A/B dashboard against this scheme"
+    )
+    report_parser.add_argument(
+        "--window", type=int, default=10_000, metavar="N",
+        help="metrics window for the dashboard run (default 10000)"
+    )
+    report_parser.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="write a self-contained HTML report to PATH "
+             "(without it, print the legacy text report)"
+    )
     _add_scale_arguments(report_parser)
     report_parser.set_defaults(handler=_cmd_report)
 

@@ -79,6 +79,15 @@ class CacheStats:
         table.update(self.extra)
         return table
 
+    def counter_snapshot(self) -> Dict[str, int]:
+        """Raw counter values only — no derived ratios, no ``extra``.
+
+        The windowed-metrics registry diffs consecutive snapshots to
+        produce per-window deltas; keeping the snapshot free of floats
+        makes those deltas exact integers.
+        """
+        return {name: getattr(self, name) for name in counter_field_names()}
+
 
 #: Every integer counter field, derived once from the dataclass so
 #: ``merge``/``as_dict`` (and the timeline's tracked set) can never

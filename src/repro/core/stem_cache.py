@@ -81,6 +81,9 @@ class StemCache:
         self.rng = rng if rng is not None else Lfsr()
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.stats = CacheStats()
+        # Lifetime accesses folded in by reset_stats(); underscore-
+        # prefixed so the manifest's scheme-config hash ignores it.
+        self._access_base = 0
         self._hash = H3Hash(
             in_bits=geometry.tag_bits,
             out_bits=self.config.shadow_tag_bits,
@@ -196,6 +199,7 @@ class StemCache:
                 tracer.emit(ShadowHit(
                     access=stats.accesses,
                     set_index=set_index,
+                    global_access=self._access_base + stats.accesses,
                     signature=signature,
                 ))
         self._fill(set_index, tag, is_write)
@@ -208,6 +212,7 @@ class StemCache:
                     tracer.emit(PolicySwap(
                         access=stats.accesses,
                         set_index=set_index,
+                        global_access=self._access_base + stats.accesses,
                         mode=self.policy_mode_of(set_index),
                     ))
             monitor.acknowledge_policy_swap()
@@ -356,6 +361,7 @@ class StemCache:
                 tracer.emit(SpillReject(
                     access=self.stats.accesses,
                     set_index=set_index,
+                    global_access=self._access_base + self.stats.accesses,
                     giver=giver,
                     tag=victim_tag,
                 ))
@@ -389,6 +395,7 @@ class StemCache:
             tracer.emit(Spill(
                 access=self.stats.accesses,
                 set_index=taker,
+                global_access=self._access_base + self.stats.accesses,
                 giver=giver,
                 tag=tag,
                 dirty=dirty,
@@ -467,6 +474,7 @@ class StemCache:
             tracer.emit(Eviction(
                 access=self.stats.accesses,
                 set_index=set_index,
+                global_access=self._access_base + self.stats.accesses,
                 tag=key >> 1,
                 dirty=self._dirty[set_index][way],
                 cooperative=bool(key & 1),
@@ -521,7 +529,10 @@ class StemCache:
         tracer = self.tracer
         if tracer.enabled:
             tracer.emit(Coupling(
-                access=self.stats.accesses, set_index=taker, giver=giver
+                access=self.stats.accesses,
+                set_index=taker,
+                global_access=self._access_base + self.stats.accesses,
+                giver=giver,
             ))
         return giver
 
@@ -533,7 +544,10 @@ class StemCache:
         tracer = self.tracer
         if tracer.enabled:
             tracer.emit(Decoupling(
-                access=self.stats.accesses, set_index=taker, giver=giver
+                access=self.stats.accesses,
+                set_index=taker,
+                global_access=self._access_base + self.stats.accesses,
+                giver=giver,
             ))
 
     # ------------------------------------------------------------------
@@ -660,6 +674,7 @@ class StemCache:
             tracer.emit(SafeModeEntry(
                 access=self.stats.accesses,
                 set_index=set_index,
+                global_access=self._access_base + self.stats.accesses,
                 reason=reason,
             ))
 
@@ -751,8 +766,57 @@ class StemCache:
             for way, signature in enumerate(shadow.entries())
         ]
 
+    @property
+    def global_accesses(self) -> int:
+        """Lifetime access count; reset_stats() does not rewind it."""
+        return self._access_base + self.stats.accesses
+
+    def metrics_gauges(self) -> Dict[str, float]:
+        """Instantaneous controller state for the metrics registry.
+
+        Sampled at window boundaries only (never from the access path):
+        occupancy, the SCDM's SC_S/SC_T saturation averages, the
+        taker/giver census, the candidate-giver heap depth, the live
+        coupling population and the safe-mode set count.
+        """
+        monitors = self.monitors
+        num_sets = len(monitors)
+        capacity = num_sets * self.geometry.associativity
+        filled = sum(len(table) for table in self._lookup)
+        sc_s_total = sc_t_total = takers = givers = 0
+        for monitor in monitors:
+            sc_s_total += monitor.sc_s.value
+            sc_t_total += monitor.sc_t.value
+            if monitor.is_taker:
+                takers += 1
+            if monitor.is_giver:
+                givers += 1
+        counter_max = monitors[0].sc_s.max_value or 1
+        coupled_pairs = sum(
+            1 for role in self._coupled_role if role == _TAKER
+        )
+        return {
+            "occupancy_fraction": filled / capacity,
+            "sc_s_saturation": sc_s_total / (num_sets * counter_max),
+            "sc_t_saturation": sc_t_total / (num_sets * counter_max),
+            "taker_fraction": takers / num_sets,
+            "giver_fraction": givers / num_sets,
+            "giver_heap_depth": float(len(self.heap)),
+            "coupled_pairs": float(coupled_pairs),
+            "safe_mode_sets": float(sum(self._in_safe_mode)),
+        }
+
+    def metrics_per_set(self) -> Dict[str, List[int]]:
+        """Per-set rows for the metrics registry (heatmap data)."""
+        return {"occupancy": [len(table) for table in self._lookup]}
+
     def reset_stats(self) -> None:
-        """Zero statistics (e.g. after warm-up)."""
+        """Zero statistics (e.g. after warm-up).
+
+        The lifetime clock behind event ``global_access`` stamps keeps
+        running: the zeroed window counters fold into ``_access_base``.
+        """
+        self._access_base += self.stats.accesses
         self.stats = CacheStats()
 
     def check_invariants(self) -> None:

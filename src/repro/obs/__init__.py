@@ -1,7 +1,7 @@
-"""Observability: event tracing, run provenance and hot-loop profiling.
+"""Observability: events, metrics, provenance, diffing and reports.
 
-The three legs of the layer (see DESIGN.md's tracepoint note and the
-README's *Observability* section):
+The legs of the layer (see DESIGN.md's tracepoint note, DESIGN.md §10
+and the README's *Observability* section):
 
 * **events + tracer + sinks** — a zero-overhead-when-disabled event bus.
   Every cache scheme takes an injectable :class:`Tracer` (defaulting to
@@ -15,6 +15,13 @@ README's *Observability* section):
   :class:`RunProfiler` (``--profile`` CLI flags) and event-log
   aggregations (coupling lifetimes, spill fan-out, swap cadence) behind
   the ``repro trace`` command.
+* **metrics** — a :class:`MetricsRegistry` of counter deltas, derived
+  rates and scheme gauges sampled on fixed access-window boundaries
+  (``run_trace(..., metrics_window=N)``); series export as JSONL or
+  Prometheus text and ride along inside ``RunResult``.
+* **diff + htmlreport** — :func:`diff_results` compares two runs into
+  a byte-stable delta report; :func:`render_run_html` renders one run
+  or an A/B pair as a self-contained single-file HTML dashboard.
 """
 
 from repro.obs.events import (
@@ -31,16 +38,20 @@ from repro.obs.events import (
     TraceEvent,
     event_from_dict,
 )
+from repro.obs.diff import MetricDelta, RunDiff, SetDivergence, diff_results
+from repro.obs.htmlreport import diff_to_html, render_run_html
 from repro.obs.inspect import (
     CouplingSpan,
     coupling_lifetimes,
     coupling_spans,
+    event_clock,
     event_counts,
     per_set_counts,
     spill_fanout,
     summarize_events,
     swap_cadence,
 )
+from repro.obs.metrics import MetricsRegistry, MetricsSeries
 from repro.obs.manifest import RunManifest, build_manifest, describe_scheme
 from repro.obs.profile import PhaseTimer, ProfileRecord, RunProfiler
 from repro.obs.sinks import (
@@ -59,14 +70,19 @@ __all__ = [
     "Eviction",
     "FaultInjected",
     "JsonlSink",
+    "MetricDelta",
+    "MetricsRegistry",
+    "MetricsSeries",
     "NULL_TRACER",
     "PhaseTimer",
     "PolicySwap",
     "ProfileRecord",
     "RingBufferSink",
+    "RunDiff",
     "RunManifest",
     "RunProfiler",
     "SafeModeEntry",
+    "SetDivergence",
     "ShadowHit",
     "Spill",
     "SpillReject",
@@ -77,11 +93,15 @@ __all__ = [
     "coupling_lifetimes",
     "coupling_spans",
     "describe_scheme",
+    "diff_results",
+    "diff_to_html",
+    "event_clock",
     "event_counts",
     "event_from_dict",
     "load_events",
     "load_events_report",
     "per_set_counts",
+    "render_run_html",
     "spill_fanout",
     "summarize_events",
     "swap_cadence",

@@ -1,0 +1,301 @@
+"""Run differencing: compare two finished runs metric by metric.
+
+``repro diff A B`` (and the :func:`diff_results` API under it) lines up
+two :class:`~repro.sim.simulator.RunResult` objects — typically the
+same trace under two schemes, or the same scheme before/after a change
+— and produces a :class:`RunDiff`: per-metric scalar deltas, the
+window-aligned metric series of both runs (truncated to the shorter
+run; skipped with an explanatory note when the window lengths differ),
+and the top-k sets whose mean occupancy diverges most.
+
+Rendering is deliberately **byte-stable**: metric names are sorted,
+floats are printed through one fixed-precision formatter and nothing
+time- or environment-dependent (wall-clock timings, hostnames, paths)
+enters the output, so two invocations over the same inputs produce
+identical bytes — diffs of diffs are meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # RunResult is hint-only: sim imports obs, not vice versa
+    from repro.sim.simulator import RunResult
+
+#: Eight-level bar used for ASCII sparklines (space = empty window).
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def _fmt(value: float) -> str:
+    """The one float formatter every rendered number goes through."""
+    return format(value, ".6g")
+
+
+def sparkline(values: List[float]) -> str:
+    """Render a series as a fixed-height unicode bar strip.
+
+    Scaled to the series' own min/max (a flat series renders as all
+    low bars); purely a shape cue next to the exact endpoint numbers.
+    """
+    if not values:
+        return ""
+    low = min(values)
+    high = max(values)
+    span = high - low
+    if span <= 0:
+        return _SPARK_LEVELS[0] * len(values)
+    top = len(_SPARK_LEVELS) - 1
+    return "".join(
+        _SPARK_LEVELS[int((value - low) / span * top)] for value in values
+    )
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One scalar metric compared across the two runs (``b - a``)."""
+
+    name: str
+    a: float
+    b: float
+
+    @property
+    def delta(self) -> float:
+        return self.b - self.a
+
+    @property
+    def relative(self) -> Optional[float]:
+        """Fractional change vs ``a``, or None when ``a`` is zero."""
+        if self.a == 0:
+            return None
+        return self.delta / self.a
+
+
+@dataclass(frozen=True)
+class SetDivergence:
+    """Mean occupancy of one set under each run, ranked by |delta|."""
+
+    set_index: int
+    mean_a: float
+    mean_b: float
+
+    @property
+    def delta(self) -> float:
+        return self.mean_b - self.mean_a
+
+
+@dataclass
+class RunDiff:
+    """Structured comparison of two runs (see :func:`diff_results`)."""
+
+    label_a: str
+    label_b: str
+    scalars: List[MetricDelta] = field(default_factory=list)
+    window_length: Optional[int] = None
+    num_windows: int = 0
+    series: Dict[str, Tuple[List[float], List[float]]] = field(
+        default_factory=dict
+    )
+    series_note: Optional[str] = None
+    top_sets: List[SetDivergence] = field(default_factory=list)
+    sets_note: Optional[str] = None
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable view (for ``repro diff --json``)."""
+        return {
+            "label_a": self.label_a,
+            "label_b": self.label_b,
+            "scalars": [
+                {
+                    "name": d.name,
+                    "a": d.a,
+                    "b": d.b,
+                    "delta": d.delta,
+                    "relative": d.relative,
+                }
+                for d in self.scalars
+            ],
+            "window_length": self.window_length,
+            "num_windows": self.num_windows,
+            "series": {
+                name: {"a": pair[0], "b": pair[1]}
+                for name, pair in self.series.items()
+            },
+            "series_note": self.series_note,
+            "top_sets": [
+                {
+                    "set_index": s.set_index,
+                    "mean_a": s.mean_a,
+                    "mean_b": s.mean_b,
+                    "delta": s.delta,
+                }
+                for s in self.top_sets
+            ],
+            "sets_note": self.sets_note,
+        }
+
+    def render(self) -> str:
+        """Byte-stable plain-text report of the whole diff."""
+        lines: List[str] = []
+        lines.append(f"run diff: A = {self.label_a}  |  B = {self.label_b}")
+        lines.append("")
+        lines.append("scalar metrics (delta = B - A):")
+        name_width = max(
+            [len("metric")] + [len(d.name) for d in self.scalars]
+        )
+        header = (
+            f"  {'metric':<{name_width}} {'A':>14} {'B':>14}"
+            f" {'delta':>14} {'rel':>9}"
+        )
+        lines.append(header)
+        for d in self.scalars:
+            rel = (
+                f"{d.relative * 100:+.2f}%" if d.relative is not None
+                else "n/a"
+            )
+            lines.append(
+                f"  {d.name:<{name_width}} {_fmt(d.a):>14} {_fmt(d.b):>14}"
+                f" {_fmt(d.delta):>14} {rel:>9}"
+            )
+        lines.append("")
+        if self.series_note is not None:
+            lines.append(f"series: {self.series_note}")
+        elif self.series:
+            lines.append(
+                f"windowed series ({self.num_windows} windows of "
+                f"{self.window_length} accesses, aligned):"
+            )
+            width = max(len(name) for name in self.series)
+            for name in sorted(self.series):
+                a_values, b_values = self.series[name]
+                lines.append(
+                    f"  {name:<{width}}  A {sparkline(a_values)}  "
+                    f"mean {_fmt(_mean(a_values))}"
+                )
+                lines.append(
+                    f"  {'':<{width}}  B {sparkline(b_values)}  "
+                    f"mean {_fmt(_mean(b_values))}"
+                )
+        if self.sets_note is not None:
+            lines.append("")
+            lines.append(f"per-set: {self.sets_note}")
+        elif self.top_sets:
+            lines.append("")
+            lines.append(
+                f"top {len(self.top_sets)} diverging sets by "
+                "mean occupancy (|B - A|):"
+            )
+            for s in self.top_sets:
+                lines.append(
+                    f"  set {s.set_index:>6}  A {_fmt(s.mean_a):>10}  "
+                    f"B {_fmt(s.mean_b):>10}  delta {_fmt(s.delta):>10}"
+                )
+        return "\n".join(lines) + "\n"
+
+
+def _mean(values: List[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def _label(result: RunResult) -> str:
+    return f"{result.scheme} on {result.trace_name}"
+
+
+def _scalar_metrics(result: RunResult) -> Dict[str, float]:
+    """Every scalar worth diffing: raw counters plus paper metrics."""
+    values: Dict[str, float] = {
+        name: float(value)
+        for name, value in result.stats.counter_snapshot().items()
+    }
+    values["miss_rate"] = result.stats.miss_rate
+    values["mpki"] = result.mpki
+    values["amat"] = result.amat
+    values["cpi"] = result.cpi
+    return values
+
+
+def diff_results(
+    a: RunResult, b: RunResult, top_k: int = 8
+) -> RunDiff:
+    """Compare two runs into a :class:`RunDiff`.
+
+    Scalars always diff (both runs carry stats).  Series diff only when
+    both runs were made with the same ``metrics_window``; runs of
+    different lengths are aligned by truncating to the shorter series.
+    The per-set section needs both runs' occupancy rows with matching
+    set counts; otherwise it degrades to an explanatory note, never an
+    error — ``repro diff`` must work on any pair of runs.
+    """
+    diff = RunDiff(label_a=_label(a), label_b=_label(b))
+    scalars_a = _scalar_metrics(a)
+    scalars_b = _scalar_metrics(b)
+    for name in sorted(set(scalars_a) | set(scalars_b)):
+        diff.scalars.append(MetricDelta(
+            name=name,
+            a=scalars_a.get(name, 0.0),
+            b=scalars_b.get(name, 0.0),
+        ))
+    if a.series is None or b.series is None:
+        missing = []
+        if a.series is None:
+            missing.append("A")
+        if b.series is None:
+            missing.append("B")
+        diff.series_note = (
+            f"skipped — run(s) {', '.join(missing)} carry no windowed "
+            "series (re-run with metrics_window / --window)"
+        )
+    elif a.series.window_length != b.series.window_length:
+        diff.series_note = (
+            f"skipped — window lengths differ "
+            f"(A={a.series.window_length}, B={b.series.window_length})"
+        )
+    else:
+        diff.window_length = a.series.window_length
+        diff.num_windows = min(
+            a.series.num_windows, b.series.num_windows
+        )
+        n = diff.num_windows
+        for name in sorted(set(a.series.series) & set(b.series.series)):
+            diff.series[name] = (
+                list(a.series.series[name][:n]),
+                list(b.series.series[name][:n]),
+            )
+    rows_a = (
+        a.series.set_series.get("occupancy") if a.series is not None
+        else None
+    )
+    rows_b = (
+        b.series.set_series.get("occupancy") if b.series is not None
+        else None
+    )
+    if not rows_a or not rows_b:
+        diff.sets_note = "skipped — per-set occupancy absent from a run"
+    elif len(rows_a[0]) != len(rows_b[0]):
+        diff.sets_note = (
+            f"skipped — set counts differ "
+            f"(A={len(rows_a[0])}, B={len(rows_b[0])})"
+        )
+    else:
+        num_sets = len(rows_a[0])
+        means_a = [
+            sum(row[index] for row in rows_a) / len(rows_a)
+            for index in range(num_sets)
+        ]
+        means_b = [
+            sum(row[index] for row in rows_b) / len(rows_b)
+            for index in range(num_sets)
+        ]
+        ranked = sorted(
+            range(num_sets),
+            key=lambda index: (-abs(means_b[index] - means_a[index]), index),
+        )
+        diff.top_sets = [
+            SetDivergence(
+                set_index=index,
+                mean_a=means_a[index],
+                mean_b=means_b[index],
+            )
+            for index in ranked[:top_k]
+        ]
+    return diff

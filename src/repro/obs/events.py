@@ -7,13 +7,21 @@ here.  Events are *data*: caches construct them only when a tracer is
 enabled, sinks serialise them (``as_dict``), and the inspection helpers
 rebuild them from JSONL logs (``event_from_dict``).
 
-All events share two fields:
+All events share three fields:
 
 ``access``
     The owning cache's ``stats.accesses`` value at emission time — the
     simulation's clock.  ``reset_stats()`` (the warm-up boundary) also
-    resets this clock, so time-axis analyses should trace runs with
-    ``warmup_fraction=0.0`` (the ``repro trace`` command's default).
+    resets this clock; it is kept for backward compatibility with
+    existing logs and tooling.
+``global_access``
+    The monotonic access clock: the cache's lifetime access count,
+    which ``reset_stats()`` does *not* rewind.  Time-axis analyses
+    (coupling lifetimes, swap cadence) key on this clock, so they stay
+    correct even when a run traces with warm-up enabled.  Logs written
+    before this field existed rebuild with ``global_access=0``;
+    :func:`repro.obs.inspect.event_clock` falls back to ``access`` for
+    them.
 ``set_index``
     The *home* set of the action: the evicting set, the spilling taker,
     the swapping set, the shadow-probing set.
@@ -35,6 +43,9 @@ class TraceEvent:
 
     access: int
     set_index: int
+    # Monotonic lifetime clock; 0 marks a record predating the field
+    # (reset_stats() never rewinds it, so real emissions are >= 1).
+    global_access: int = 0
 
     def as_dict(self) -> Dict[str, Any]:
         """Flat JSON-serialisable view including the ``kind`` tag."""

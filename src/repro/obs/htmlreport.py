@@ -1,0 +1,321 @@
+"""Self-contained single-file HTML run report.
+
+:func:`render_run_html` turns one :class:`~repro.sim.simulator.RunResult`
+(or an A/B pair) into a complete HTML document: a scalar-metrics table,
+one inline SVG sparkline per windowed metric (two overlaid polylines in
+A/B mode) and a per-set occupancy heatmap rendered as an SVG rect grid.
+
+Everything is inlined — one ``<style>`` block, SVG markup generated
+here, colors computed in Python — so the file opens identically from
+disk, a CI artifact store, or an air-gapped machine: **zero network
+references** (no scripts, no stylesheets, no fonts, no images).
+
+The output is deterministic: nothing wall-clock- or host-dependent is
+rendered and every float goes through one fixed formatter, so the same
+inputs always produce byte-identical HTML (asserted in CI).
+"""
+
+from __future__ import annotations
+
+from html import escape
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.obs.diff import _fmt, _mean, _scalar_metrics, diff_results
+
+if TYPE_CHECKING:  # hint-only: sim imports obs, not vice versa
+    from repro.sim.simulator import RunResult
+
+#: Series colors: A is the STEM blue, B the comparison orange.
+_COLOR_A = "#2166ac"
+_COLOR_B = "#e08214"
+
+#: Heatmap caps keep the SVG small for big geometries/long runs: sets
+#: are averaged into at most this many rows, windows into columns.
+_MAX_HEAT_ROWS = 64
+_MAX_HEAT_COLS = 128
+
+_STYLE = """
+body { font-family: monospace; margin: 2em auto; max-width: 72em;
+       color: #1a1a1a; background: #fcfcfc; }
+h1 { font-size: 1.3em; border-bottom: 2px solid #2166ac; }
+h2 { font-size: 1.05em; margin-top: 1.8em; }
+table { border-collapse: collapse; }
+th, td { padding: 0.2em 0.9em; text-align: right;
+         border-bottom: 1px solid #ddd; }
+th { border-bottom: 2px solid #888; }
+td.name, th.name { text-align: left; }
+.spark { display: flex; align-items: center; gap: 1em;
+         margin: 0.25em 0; }
+.spark .label { width: 18em; text-align: right; }
+.legend { margin: 0.5em 0; }
+.swatch { display: inline-block; width: 0.9em; height: 0.9em;
+          vertical-align: middle; margin-right: 0.3em; }
+.note { color: #666; font-style: italic; }
+svg { background: #fff; border: 1px solid #ddd; }
+"""
+
+
+def _bucket(values: List[float], buckets: int) -> List[float]:
+    """Average ``values`` down to at most ``buckets`` entries."""
+    count = len(values)
+    if count <= buckets:
+        return list(values)
+    result = []
+    for index in range(buckets):
+        start = index * count // buckets
+        stop = max(start + 1, (index + 1) * count // buckets)
+        chunk = values[start:stop]
+        result.append(sum(chunk) / len(chunk))
+    return result
+
+
+def _heat_color(fraction: float) -> str:
+    """White -> STEM blue ramp; input clamped to [0, 1]."""
+    fraction = min(1.0, max(0.0, fraction))
+    # Endpoints: #ffffff (empty) to #08306b (full).
+    red = round(255 + (8 - 255) * fraction)
+    green = round(255 + (48 - 255) * fraction)
+    blue = round(255 + (107 - 255) * fraction)
+    return f"#{red:02x}{green:02x}{blue:02x}"
+
+
+def _svg_sparkline(
+    series_a: List[float],
+    series_b: Optional[List[float]] = None,
+    width: int = 420,
+    height: int = 44,
+) -> str:
+    """Inline SVG with one polyline per series, shared y-scale."""
+    pool = list(series_a) + (list(series_b) if series_b else [])
+    low = min(pool) if pool else 0.0
+    high = max(pool) if pool else 1.0
+    span = high - low or 1.0
+    pad = 3
+
+    def points(values: List[float]) -> str:
+        if len(values) == 1:
+            values = values * 2
+        last = len(values) - 1
+        return " ".join(
+            f"{pad + index * (width - 2 * pad) / last:.2f},"
+            f"{height - pad - (value - low) / span * (height - 2 * pad):.2f}"
+            for index, value in enumerate(values)
+        )
+
+    lines = [
+        f'<svg width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" role="img">'
+    ]
+    lines.append(
+        f'<polyline fill="none" stroke="{_COLOR_A}" stroke-width="1.5" '
+        f'points="{points(series_a)}"/>'
+    )
+    if series_b:
+        lines.append(
+            f'<polyline fill="none" stroke="{_COLOR_B}" stroke-width="1.5" '
+            f'points="{points(series_b)}"/>'
+        )
+    lines.append("</svg>")
+    return "".join(lines)
+
+
+def _svg_heatmap(
+    rows: List[List[int]], max_value: float, cell: int = 7
+) -> str:
+    """Per-set occupancy grid: x = windows, y = sets (bucketed)."""
+    if not rows:
+        return ""
+    num_sets = len(rows[0])
+    # Transpose to per-set series, bucket both axes.
+    per_set = [
+        _bucket([float(row[index]) for row in rows], _MAX_HEAT_COLS)
+        for index in range(num_sets)
+    ]
+    if num_sets > _MAX_HEAT_ROWS:
+        grouped = []
+        for index in range(_MAX_HEAT_ROWS):
+            start = index * num_sets // _MAX_HEAT_ROWS
+            stop = max(start + 1, (index + 1) * num_sets // _MAX_HEAT_ROWS)
+            chunk = per_set[start:stop]
+            grouped.append([
+                sum(series[col] for series in chunk) / len(chunk)
+                for col in range(len(chunk[0]))
+            ])
+        per_set = grouped
+    height = len(per_set) * cell
+    width = len(per_set[0]) * cell
+    scale = max_value or 1.0
+    rects = [
+        f'<svg width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" role="img">'
+    ]
+    for row_index, series in enumerate(per_set):
+        for col_index, value in enumerate(series):
+            rects.append(
+                f'<rect x="{col_index * cell}" y="{row_index * cell}" '
+                f'width="{cell}" height="{cell}" '
+                f'fill="{_heat_color(value / scale)}"/>'
+            )
+    rects.append("</svg>")
+    return "".join(rects)
+
+
+def _occupancy_ceiling(result: RunResult) -> float:
+    """Heatmap scale: the run's peak per-set occupancy."""
+    rows = (
+        result.series.set_series.get("occupancy", [])
+        if result.series is not None else []
+    )
+    return float(max((max(row) for row in rows if row), default=1))
+
+
+def _scalar_table(
+    a: RunResult, b: Optional[RunResult]
+) -> str:
+    metrics_a = _scalar_metrics(a)
+    lines = ["<table>"]
+    if b is None:
+        lines.append(
+            '<tr><th class="name">metric</th><th>value</th></tr>'
+        )
+        for name in sorted(metrics_a):
+            lines.append(
+                f'<tr><td class="name">{escape(name)}</td>'
+                f"<td>{_fmt(metrics_a[name])}</td></tr>"
+            )
+    else:
+        metrics_b = _scalar_metrics(b)
+        lines.append(
+            '<tr><th class="name">metric</th><th>A</th><th>B</th>'
+            "<th>delta</th></tr>"
+        )
+        for name in sorted(set(metrics_a) | set(metrics_b)):
+            value_a = metrics_a.get(name, 0.0)
+            value_b = metrics_b.get(name, 0.0)
+            lines.append(
+                f'<tr><td class="name">{escape(name)}</td>'
+                f"<td>{_fmt(value_a)}</td><td>{_fmt(value_b)}</td>"
+                f"<td>{_fmt(value_b - value_a)}</td></tr>"
+            )
+    lines.append("</table>")
+    return "\n".join(lines)
+
+
+def _series_pairs(
+    a: RunResult, b: Optional[RunResult]
+) -> Tuple[Dict[str, Tuple[List[float], Optional[List[float]]]], Optional[str]]:
+    """Window-aligned {metric: (A series, B series or None)}, or a note."""
+    if a.series is None:
+        return {}, (
+            "no windowed series — re-run with metrics_window / --window"
+        )
+    if b is None or b.series is None:
+        return (
+            {name: (values, None) for name, values in a.series.series.items()},
+            None,
+        )
+    if a.series.window_length != b.series.window_length:
+        return {}, (
+            f"window lengths differ (A={a.series.window_length}, "
+            f"B={b.series.window_length}); series omitted"
+        )
+    shared = min(a.series.num_windows, b.series.num_windows)
+    return (
+        {
+            name: (
+                list(a.series.series[name][:shared]),
+                list(b.series.series[name][:shared]),
+            )
+            for name in sorted(set(a.series.series) & set(b.series.series))
+        },
+        None,
+    )
+
+
+def render_run_html(
+    a: RunResult,
+    b: Optional[RunResult] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render one run (or an A/B pair) as a self-contained HTML page."""
+    label_a = f"{a.scheme} on {a.trace_name}"
+    if title is None:
+        title = (
+            f"run report: {label_a}" if b is None
+            else f"run diff: {label_a} vs {b.scheme} on {b.trace_name}"
+        )
+    parts: List[str] = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        f"<title>{escape(title)}</title>",
+        f"<style>{_STYLE}</style>",
+        "</head><body>",
+        f"<h1>{escape(title)}</h1>",
+    ]
+    if b is not None:
+        parts.append(
+            '<p class="legend">'
+            f'<span class="swatch" style="background:{_COLOR_A}"></span>'
+            f"A = {escape(label_a)} &nbsp; "
+            f'<span class="swatch" style="background:{_COLOR_B}"></span>'
+            f"B = {escape(b.scheme)} on {escape(b.trace_name)}</p>"
+        )
+    parts.append("<h2>Scalar metrics</h2>")
+    parts.append(_scalar_table(a, b))
+
+    parts.append("<h2>Windowed series</h2>")
+    pairs, note = _series_pairs(a, b)
+    if note is not None:
+        parts.append(f'<p class="note">{escape(note)}</p>')
+    elif not pairs:
+        parts.append('<p class="note">no shared series</p>')
+    else:
+        window = a.series.window_length if a.series is not None else 0
+        parts.append(
+            f'<p class="note">windows of {window} accesses; sparkline '
+            "scaled per metric; trailing mean shown</p>"
+        )
+        for name in sorted(pairs):
+            series_a, series_b = pairs[name]
+            mean_text = f"mean A {_fmt(_mean(series_a))}"
+            if series_b is not None:
+                mean_text += f" / B {_fmt(_mean(series_b))}"
+            parts.append(
+                '<div class="spark">'
+                f'<span class="label">{escape(name)}</span>'
+                f"{_svg_sparkline(series_a, series_b)}"
+                f"<span>{mean_text}</span></div>"
+            )
+
+    runs = [("A", a)] + ([("B", b)] if b is not None else [])
+    for tag, result in runs:
+        rows = (
+            result.series.set_series.get("occupancy", [])
+            if result.series is not None else []
+        )
+        if not rows:
+            continue
+        heading = "Per-set occupancy"
+        if b is not None:
+            heading += f" — {tag}"
+        parts.append(f"<h2>{escape(heading)}</h2>")
+        parts.append(
+            '<p class="note">rows = sets (top = set 0), columns = '
+            "windows, darker = fuller; axes bucketed to "
+            f"{_MAX_HEAT_ROWS}&times;{_MAX_HEAT_COLS}</p>"
+        )
+        parts.append(_svg_heatmap(rows, _occupancy_ceiling(result)))
+
+    parts.append("</body></html>")
+    return "\n".join(parts) + "\n"
+
+
+def diff_to_html(a: RunResult, b: RunResult) -> str:
+    """A/B page plus the plain-text diff in a ``<pre>`` appendix."""
+    page = render_run_html(a, b)
+    appendix = (
+        "<h2>Text diff</h2><pre>"
+        + escape(diff_results(a, b).render())
+        + "</pre>\n</body></html>\n"
+    )
+    return page.replace("</body></html>\n", appendix)

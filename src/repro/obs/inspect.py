@@ -8,9 +8,13 @@ set's LRU/BIP duel flips).  They accept any iterable of
 :class:`~repro.obs.events.TraceEvent` — a ring buffer's ``events`` or a
 JSONL log read by :func:`~repro.obs.sinks.load_events`.
 
-Event ``access`` indices are the emitting cache's access clock, which
-``reset_stats()`` rewinds; trace with ``warmup_fraction=0.0`` (the
-``repro trace`` default) when lifetimes or cadences matter.
+Time-axis aggregations (lifetimes, cadences) key on
+:func:`event_clock`: the monotonic ``global_access`` stamp when the
+log carries one, falling back to ``access`` for logs written before
+that field existed.  The fallback inherits the old footgun — the
+``access`` clock rewinds at the ``reset_stats()`` warm-up boundary —
+but current emitters always stamp ``global_access``, so warm-up no
+longer corrupts lifetimes or cadences.
 """
 
 from __future__ import annotations
@@ -22,10 +26,23 @@ from typing import Dict, Iterable, List, Optional
 from repro.obs.events import (
     Coupling,
     Decoupling,
+    FaultInjected,
     PolicySwap,
+    SafeModeEntry,
     Spill,
     TraceEvent,
 )
+
+
+def event_clock(event: TraceEvent) -> int:
+    """The event's position on the monotonic access clock.
+
+    Emissions always happen with ``stats.accesses >= 1``, so a zero
+    ``global_access`` reliably marks a record rebuilt from a log that
+    predates the field; those fall back to the (rewindable) ``access``
+    clock.
+    """
+    return event.global_access or event.access
 
 
 @dataclass(frozen=True)
@@ -67,7 +84,7 @@ def coupling_spans(events: Iterable[TraceEvent]) -> List[CouplingSpan]:
     spans: List[CouplingSpan] = []
     for event in events:
         if isinstance(event, Coupling):
-            open_spans[(event.set_index, event.giver)] = event.access
+            open_spans[(event.set_index, event.giver)] = event_clock(event)
         elif isinstance(event, Decoupling):
             start = open_spans.pop((event.set_index, event.giver), None)
             if start is not None:
@@ -75,7 +92,7 @@ def coupling_spans(events: Iterable[TraceEvent]) -> List[CouplingSpan]:
                     taker=event.set_index,
                     giver=event.giver,
                     start_access=start,
-                    end_access=event.access,
+                    end_access=event_clock(event),
                 ))
     for (taker, giver), start in open_spans.items():
         spans.append(CouplingSpan(
@@ -111,14 +128,13 @@ def swap_cadence(events: Iterable[TraceEvent]) -> Dict[int, List[int]]:
     for event in events:
         if not isinstance(event, PolicySwap):
             continue
+        clock = event_clock(event)
         previous = last_swap.get(event.set_index)
         if previous is not None:
-            cadence.setdefault(event.set_index, []).append(
-                event.access - previous
-            )
+            cadence.setdefault(event.set_index, []).append(clock - previous)
         else:
             cadence.setdefault(event.set_index, [])
-        last_swap[event.set_index] = event.access
+        last_swap[event.set_index] = clock
     return cadence
 
 
@@ -166,5 +182,26 @@ def summarize_events(events: Iterable[TraceEvent]) -> str:
             f"  policy swaps: {counts.get('policy_swap', 0)} over "
             f"{len(cadence)} set(s), mean inter-swap gap "
             f"{_mean(gaps):,.0f} accesses"
+        )
+    # A `repro faults` log can consist solely of fault/safe-mode
+    # events; give those a digest beyond the bare counts too.
+    faults = [e for e in log if isinstance(e, FaultInjected)]
+    if faults:
+        per_target = Counter(e.target for e in faults)
+        breakdown = ", ".join(
+            f"{target}={per_target[target]}" for target in sorted(per_target)
+        )
+        affected = {e.set_index for e in faults if e.set_index >= 0}
+        lines.append(
+            f"  faults: {len(faults)} injected across "
+            f"{len(per_target)} target(s) ({breakdown}); "
+            f"{len(affected)} set(s) directly hit"
+        )
+    safe_entries = [e for e in log if isinstance(e, SafeModeEntry)]
+    if safe_entries:
+        degraded = {e.set_index for e in safe_entries}
+        lines.append(
+            f"  safe mode: {len(safe_entries)} entries pinned "
+            f"{len(degraded)} set(s) to plain LRU"
         )
     return "\n".join(lines)

@@ -337,9 +337,11 @@ class FaultInjector:
         tracer = self.tracer
         if tracer.enabled:
             stats = getattr(cache, "stats", None)
+            accesses = getattr(stats, "accesses", 0)
             tracer.emit(FaultInjected(
-                access=getattr(stats, "accesses", 0),
+                access=accesses,
                 set_index=set_index,
+                global_access=getattr(cache, "global_accesses", accesses),
                 target=target,
                 detail=detail,
             ))

@@ -63,6 +63,7 @@ def guarded_run(
     watchdog_seconds: Optional[float] = None,
     warmup_fraction: float = 0.25,
     machine: Optional[MachineConfig] = None,
+    metrics_window: Optional[int] = None,
 ) -> Union[RunResult, RunFailure]:
     """Run one (scheme, trace) cell with isolation.
 
@@ -86,6 +87,7 @@ def guarded_run(
                 warmup_fraction=warmup_fraction,
                 machine=machine,
                 deadline_seconds=watchdog_seconds,
+                metrics_window=metrics_window,
             )
         except Exception as exc:  # noqa: BLE001 — isolation is the point
             last_error = exc

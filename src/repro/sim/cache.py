@@ -23,13 +23,16 @@ from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
 from repro.analysis.metrics import MetricSet
+from repro.common.errors import ConfigError
 from repro.common.io import atomic_write_text
 from repro.common.stats import CacheStats
 from repro.obs.manifest import RunManifest
+from repro.obs.metrics import MetricsSeries
 from repro.sim.simulator import RunResult
 
 #: Bumped whenever the stored layout changes; mismatches load as misses.
-_FORMAT = 1
+#: Format 2 added the optional windowed-metrics ``series`` payload.
+_FORMAT = 2
 
 
 def result_to_dict(result: RunResult) -> Dict[str, Any]:
@@ -44,12 +47,16 @@ def result_to_dict(result: RunResult) -> Dict[str, Any]:
         "manifest": (
             asdict(result.manifest) if result.manifest is not None else None
         ),
+        "series": (
+            result.series.as_dict() if result.series is not None else None
+        ),
     }
 
 
 def result_from_dict(payload: Dict[str, Any]) -> RunResult:
     """Rebuild a :class:`RunResult` stored by :func:`result_to_dict`."""
     manifest_payload = payload.get("manifest")
+    series_payload = payload.get("series")
     return RunResult(
         scheme=payload["scheme"],
         trace_name=payload["trace_name"],
@@ -61,7 +68,52 @@ def result_from_dict(payload: Dict[str, Any]) -> RunResult:
             RunManifest(**manifest_payload)
             if manifest_payload is not None else None
         ),
+        series=(
+            MetricsSeries.from_dict(series_payload)
+            if series_payload is not None else None
+        ),
     )
+
+
+def save_run(path: Union[str, Path], result: RunResult) -> Path:
+    """Persist a single :class:`RunResult` to ``path`` atomically.
+
+    The document uses the same layout as a :class:`RunCache` entry
+    (minus the cell key) so ``repro diff`` can consume either.  Written
+    via ``atomic_write_text``: a crash mid-save never leaves a
+    truncated file.
+    """
+    path = Path(path)
+    document = {"format": _FORMAT, "result": result_to_dict(result)}
+    atomic_write_text(path, json.dumps(document, sort_keys=True))
+    return path
+
+
+def load_run(path: Union[str, Path]) -> RunResult:
+    """Load a run saved by :func:`save_run`.
+
+    Unlike :meth:`RunCache.get` — where a bad entry is just a miss —
+    an explicit file argument that cannot be loaded is a user error, so
+    this raises :class:`~repro.common.errors.ConfigError` with the
+    reason instead of returning None.
+    """
+    path = Path(path)
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise ConfigError(f"cannot read run file {path}: {exc}") from exc
+    except ValueError as exc:
+        raise ConfigError(f"run file {path} is not valid JSON: {exc}") from exc
+    if not isinstance(document, dict) or document.get("format") != _FORMAT:
+        raise ConfigError(
+            f"run file {path} has format "
+            f"{document.get('format') if isinstance(document, dict) else '?'}"
+            f", expected {_FORMAT}"
+        )
+    try:
+        return result_from_dict(document["result"])
+    except (KeyError, TypeError, ConfigError) as exc:
+        raise ConfigError(f"run file {path} is malformed: {exc}") from exc
 
 
 class RunCache:

@@ -74,6 +74,7 @@ class CellSpec:
     isolate: bool = True
     retry: Optional[RetryPolicy] = None
     watchdog_seconds: Optional[float] = None
+    metrics_window: Optional[int] = None
 
 
 def _execute_cell(spec: CellSpec) -> CellOutcome:
@@ -85,6 +86,7 @@ def _execute_cell(spec: CellSpec) -> CellOutcome:
             spec.trace,
             warmup_fraction=spec.warmup_fraction,
             machine=spec.machine,
+            metrics_window=spec.metrics_window,
         )
     return guarded_run(
         lambda seed: make_scheme(spec.scheme, spec.geometry, seed=seed),
@@ -95,6 +97,7 @@ def _execute_cell(spec: CellSpec) -> CellOutcome:
         watchdog_seconds=spec.watchdog_seconds,
         warmup_fraction=spec.warmup_fraction,
         machine=spec.machine,
+        metrics_window=spec.metrics_window,
     )
 
 
@@ -121,6 +124,9 @@ def cell_cache_key(spec: CellSpec) -> Optional[str]:
         "trace_digest": spec.trace.content_digest(),
         "warmup_fraction": spec.warmup_fraction,
         "machine": asdict(machine),
+        # Windowed runs carry a series the unwindowed result lacks, so
+        # the window length is part of the cell's identity.
+        "metrics_window": spec.metrics_window,
     }
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

@@ -122,6 +122,16 @@ class ResultMatrix:
                 f"no result for workload={workload!r} scheme={scheme!r}"
             ) from exc
 
+    def series_for(self, workload: str, scheme: str):
+        """The windowed metrics series of a cell, or None.
+
+        None covers both a cell run without ``metrics_window`` and a
+        failed cell (a :class:`RunFailure` carries no series).
+        """
+        row = self._cells.get(workload, {})
+        result = row.get(scheme)
+        return result.series if result is not None else None
+
     def metric_table(
         self, metric: Callable[[RunResult], float]
     ) -> Dict[str, Dict[str, float]]:

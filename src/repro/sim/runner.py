@@ -49,6 +49,7 @@ def run_matrix(
     watchdog_seconds: Optional[float] = None,
     max_workers: Optional[int] = None,
     run_cache=None,
+    metrics_window: Optional[int] = None,
 ) -> ResultMatrix:
     """Run every scheme on every trace at one geometry.
 
@@ -78,6 +79,7 @@ def run_matrix(
                 isolate=isolate,
                 retry=retry,
                 watchdog_seconds=watchdog_seconds,
+                metrics_window=metrics_window,
             ))
     runner = ParallelRunner(
         max_workers=max_workers, run_cache=run_cache, profiler=profiler
@@ -102,6 +104,7 @@ def run_benchmarks(
     watchdog_seconds: Optional[float] = None,
     max_workers: Optional[int] = None,
     run_cache=None,
+    metrics_window: Optional[int] = None,
 ) -> ResultMatrix:
     """Run the (selected) SPEC-like benchmarks through every scheme."""
     scale = scale if scale is not None else ExperimentScale.default()
@@ -117,7 +120,8 @@ def run_benchmarks(
     return run_matrix(traces, schemes, scale=scale, seed=seed,
                       profiler=profiler, isolate=isolate, retry=retry,
                       watchdog_seconds=watchdog_seconds,
-                      max_workers=max_workers, run_cache=run_cache)
+                      max_workers=max_workers, run_cache=run_cache,
+                      metrics_window=metrics_window)
 
 
 def associativity_sweep(
@@ -132,6 +136,7 @@ def associativity_sweep(
     watchdog_seconds: Optional[float] = None,
     max_workers: Optional[int] = None,
     run_cache=None,
+    metrics_window: Optional[int] = None,
 ) -> Dict[str, List[RunResult]]:
     """MPKI-vs-associativity curves (Figures 3 and 10).
 
@@ -163,6 +168,7 @@ def associativity_sweep(
                 isolate=isolate,
                 retry=retry,
                 watchdog_seconds=watchdog_seconds,
+                metrics_window=metrics_window,
             ))
             spec_scheme.append(scheme_name)
     runner = ParallelRunner(

@@ -24,13 +24,19 @@ from repro.analysis.metrics import MetricSet, evaluate_run
 from repro.common.errors import ConfigError, WatchdogTimeout
 from repro.common.stats import CacheStats
 from repro.obs.manifest import RunManifest, build_manifest
+from repro.obs.metrics import MetricsRegistry, MetricsSeries
 from repro.sim.config import MachineConfig
 from repro.workloads.trace import Trace
 
 
 @dataclass(frozen=True)
 class RunResult:
-    """Outcome of one (scheme, trace) simulation."""
+    """Outcome of one (scheme, trace) simulation.
+
+    ``series`` carries the windowed metric time-series when the run was
+    made with ``metrics_window=N``; it is None (and costs nothing) by
+    default.
+    """
 
     scheme: str
     trace_name: str
@@ -39,6 +45,7 @@ class RunResult:
     measured_instructions: int
     metrics: MetricSet
     manifest: Optional[RunManifest] = None
+    series: Optional[MetricsSeries] = None
 
     @property
     def mpki(self) -> float:
@@ -117,6 +124,7 @@ def run_trace(
     machine: Optional[MachineConfig] = None,
     with_writes: bool = True,
     deadline_seconds: Optional[float] = None,
+    metrics_window: Optional[int] = None,
 ) -> RunResult:
     """Simulate ``trace`` on ``cache`` and evaluate the paper metrics.
 
@@ -128,6 +136,16 @@ def run_trace(
     ``deadline_seconds`` arms a cooperative wall-clock watchdog over
     the whole run (warm-up plus measurement); exceeding it raises
     :class:`~repro.common.errors.WatchdogTimeout`.
+
+    ``metrics_window`` (accesses) opts into windowed metrics: the
+    measured phase runs window by window, a
+    :class:`~repro.obs.metrics.MetricsRegistry` samples the cache at
+    every boundary, and the finished series is attached as
+    ``result.series``.  Window boundaries align with ``access_batch``
+    chunk boundaries — where every fast path flushes its locally
+    accumulated statistics — so batch and scalar execution produce
+    identical series (DESIGN.md §10).  With the default ``None`` the
+    loop below is byte-identical to the uninstrumented path.
     """
     if not 0.0 <= warmup_fraction < 1.0:
         raise ConfigError(
@@ -162,15 +180,28 @@ def run_trace(
               0, warm, deadline_at, trace.name)
     warmup_seconds = perf_counter() - phase_start
     cache.reset_stats()
+    scheme = getattr(cache, "name", type(cache).__name__)
+    registry: Optional[MetricsRegistry] = None
     phase_start = perf_counter()
-    _run_span(access, batch, addresses, set_indices, tags, writes,
-              warm, total, deadline_at, trace.name)
+    if metrics_window is None:
+        _run_span(access, batch, addresses, set_indices, tags, writes,
+                  warm, total, deadline_at, trace.name)
+    else:
+        # Windowed measurement: the registry samples counters/gauges at
+        # every boundary.  The registry constructor validates the window.
+        registry = MetricsRegistry(window_length=metrics_window)
+        position = warm
+        while position < total:
+            stop = min(position + metrics_window, total)
+            _run_span(access, batch, addresses, set_indices, tags, writes,
+                      position, stop, deadline_at, trace.name)
+            registry.sample(cache, stop - position)
+            position = stop
     measured_seconds = perf_counter() - phase_start
     measured = total - warm
     instructions = max(
         1, round(trace.metadata.instructions * measured / total)
     )
-    scheme = getattr(cache, "name", type(cache).__name__)
     metrics = evaluate_run(
         scheme=scheme,
         workload=trace.name,
@@ -194,4 +225,8 @@ def run_trace(
         measured_instructions=instructions,
         metrics=metrics,
         manifest=manifest,
+        series=(
+            registry.to_series(scheme, trace.name)
+            if registry is not None else None
+        ),
     )

@@ -7,15 +7,20 @@ record per-window miss rates, MPKI and the cooperative/temporal
 activity counters.  Phase-change studies (``examples/
 phase_adaptivity.py``, the mixes tests) read adaptation speed straight
 off these series.
+
+Since the metrics tentpole, :func:`run_timeline` is a thin driver over
+:class:`~repro.obs.metrics.MetricsRegistry` — the registry owns the
+counter-delta and derived-rate bookkeeping (plus any gauges the cache
+publishes), and the timeline keeps its historical shape on top.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
-from repro.common.errors import ConfigError
 from repro.common.stats import counter_field_names
+from repro.obs.metrics import MetricsRegistry
 from repro.workloads.trace import Trace
 
 #: Counters sampled per window (deltas between window boundaries) —
@@ -63,22 +68,21 @@ def run_timeline(
 
     Unlike :func:`repro.sim.simulator.run_trace` there is no warm-up
     discard: the first window *shows* the cold start, which is part of
-    what a timeline is for.
+    what a timeline is for.  Per-set rows are not collected here (use
+    ``run_trace(..., metrics_window=N)`` for the heatmap payload); the
+    scalar series — counter deltas, derived rates and the cache's
+    gauges — land directly in :attr:`Timeline.series`.
     """
-    if window_length <= 0:
-        raise ConfigError(
-            f"window_length must be positive, got {window_length}"
-        )
+    # The registry validates window_length (ConfigError on <= 0).
+    registry = MetricsRegistry(
+        window_length=window_length, include_per_set=False
+    )
     scheme = getattr(cache, "name", type(cache).__name__)
     timeline = Timeline(
         window_length=window_length,
         scheme=scheme,
         trace_name=trace.name,
     )
-    series: Dict[str, List[float]] = {name: [] for name in _TRACKED}
-    series["miss_rate"] = []
-    timeline.series = series
-    previous = {name: 0 for name in _TRACKED}
     addresses = trace.addresses
     writes = trace.writes if with_writes else None
     access = cache.access
@@ -92,14 +96,7 @@ def run_timeline(
         else:
             for index in range(position, stop):
                 access(addresses[index], writes[index])
-        stats = cache.stats
-        window_accesses = stop - position
-        for name in _TRACKED:
-            current = getattr(stats, name)
-            series[name].append(current - previous[name])
-            previous[name] = current
-        series["miss_rate"].append(
-            series["misses"][-1] / max(1, window_accesses)
-        )
+        registry.sample(cache, stop - position)
         position = stop
+    timeline.series = registry.series
     return timeline

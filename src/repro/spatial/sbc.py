@@ -74,6 +74,8 @@ class SbcCache:
             else self.saturation_limit // 2
         )
         self.stats = CacheStats()
+        # Lifetime accesses folded in by reset_stats() (event clock).
+        self._access_base = 0
         self.association = AssociationTable(num_sets)
         self.heap = GiverHeap(heap_capacity)
         # Per-set block state: key = (tag << 1) | cc_bit  ->  way.
@@ -202,6 +204,7 @@ class SbcCache:
             tracer.emit(Spill(
                 access=self.stats.accesses,
                 set_index=source_index,
+                global_access=self._access_base + self.stats.accesses,
                 giver=dest,
                 tag=tag,
                 dirty=dirty,
@@ -238,6 +241,7 @@ class SbcCache:
             tracer.emit(Eviction(
                 access=self.stats.accesses,
                 set_index=set_index,
+                global_access=self._access_base + self.stats.accesses,
                 tag=key >> 1,
                 dirty=self._dirty[set_index][way],
                 cooperative=bool(key & 1),
@@ -273,7 +277,10 @@ class SbcCache:
         tracer = self.tracer
         if tracer.enabled:
             tracer.emit(Coupling(
-                access=self.stats.accesses, set_index=source_index, giver=dest
+                access=self.stats.accesses,
+                set_index=source_index,
+                global_access=self._access_base + self.stats.accesses,
+                giver=dest,
             ))
         return dest
 
@@ -287,6 +294,7 @@ class SbcCache:
             tracer.emit(Decoupling(
                 access=self.stats.accesses,
                 set_index=source_index,
+                global_access=self._access_base + self.stats.accesses,
                 giver=dest_index,
             ))
 
@@ -317,8 +325,14 @@ class SbcCache:
             )
         return views
 
+    @property
+    def global_accesses(self) -> int:
+        """Lifetime access count; reset_stats() does not rewind it."""
+        return self._access_base + self.stats.accesses
+
     def reset_stats(self) -> None:
-        """Zero statistics (e.g. after warm-up)."""
+        """Zero statistics (e.g. after warm-up); the event clock keeps running."""
+        self._access_base += self.stats.accesses
         self.stats = CacheStats()
 
     def check_invariants(self) -> None:

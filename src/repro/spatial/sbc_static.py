@@ -53,6 +53,8 @@ class StaticSbcCache:
         if self.saturation_limit <= 0:
             raise ConfigError("saturation_limit must be positive")
         self.stats = CacheStats()
+        # Lifetime accesses folded in by reset_stats() (event clock).
+        self._access_base = 0
         self._partner_mask = num_sets >> 1
         self._lookup: List[dict] = [{} for _ in range(num_sets)]
         self._way_key: List[List[Optional[int]]] = [
@@ -161,6 +163,7 @@ class StaticSbcCache:
             tracer.emit(Spill(
                 access=self.stats.accesses,
                 set_index=source,
+                global_access=self._access_base + self.stats.accesses,
                 giver=partner,
                 tag=tag,
                 dirty=dirty,
@@ -195,6 +198,7 @@ class StaticSbcCache:
             tracer.emit(Eviction(
                 access=self.stats.accesses,
                 set_index=set_index,
+                global_access=self._access_base + self.stats.accesses,
                 tag=key >> 1,
                 dirty=self._dirty[set_index][way],
                 cooperative=bool(key & 1),
@@ -226,8 +230,14 @@ class StaticSbcCache:
             )
         return views
 
+    @property
+    def global_accesses(self) -> int:
+        """Lifetime access count; reset_stats() does not rewind it."""
+        return self._access_base + self.stats.accesses
+
     def reset_stats(self) -> None:
-        """Zero statistics (e.g. after warm-up)."""
+        """Zero statistics (e.g. after warm-up); the event clock keeps running."""
+        self._access_base += self.stats.accesses
         self.stats = CacheStats()
 
     def check_invariants(self) -> None:

@@ -68,6 +68,8 @@ class VwayCache:
         self.tag_ratio = tag_ratio
         self.max_reuse = (1 << reuse_bits) - 1
         self.stats = CacheStats()
+        # Lifetime accesses folded in by reset_stats() (event clock).
+        self._access_base = 0
         num_sets = geometry.num_sets
         self.entries_per_set = geometry.associativity * tag_ratio
         num_entries = num_sets * self.entries_per_set
@@ -151,6 +153,7 @@ class VwayCache:
             tracer.emit(Eviction(
                 access=self.stats.accesses,
                 set_index=set_index,
+                global_access=self._access_base + self.stats.accesses,
                 tag=tag,
                 dirty=dirty,
             ))
@@ -207,8 +210,14 @@ class VwayCache:
             )
         return views
 
+    @property
+    def global_accesses(self) -> int:
+        """Lifetime access count; reset_stats() does not rewind it."""
+        return self._access_base + self.stats.accesses
+
     def reset_stats(self) -> None:
-        """Zero statistics (e.g. after warm-up)."""
+        """Zero statistics (e.g. after warm-up); the event clock keeps running."""
+        self._access_base += self.stats.accesses
         self.stats = CacheStats()
 
     def check_invariants(self) -> None:

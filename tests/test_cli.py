@@ -141,6 +141,89 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "acc/sec" in output
 
+    def test_run_window_and_save(self, capsys, tmp_path):
+        run_path = tmp_path / "run.json"
+        series_path = tmp_path / "series.jsonl"
+        prom_path = tmp_path / "metrics.prom"
+        code = main([
+            "run", "stem", "vpr", "--sets", "32", "--length", "8000",
+            "--window", "2000", "--save-run", str(run_path),
+            "--series-jsonl", str(series_path),
+            "--series-prom", str(prom_path),
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "windows of 2000 accesses" in output
+        from repro.sim.cache import load_run
+
+        loaded = load_run(run_path)
+        assert loaded.series is not None
+        assert loaded.series.window_length == 2000
+        assert series_path.read_text().startswith('{"kind": "header"')
+        assert "# TYPE repro_misses counter" in prom_path.read_text()
+
+    def test_diff_in_process_schemes(self, capsys):
+        code = main([
+            "diff", "lru", "stem", "--benchmark", "vpr",
+            "--sets", "32", "--length", "8000", "--window", "2000",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "run diff: A = LRU on vpr" in output
+        assert "windowed series" in output
+        assert "diverging sets" in output
+
+    def test_diff_saved_run_files(self, capsys, tmp_path):
+        a_path, b_path = tmp_path / "a.json", tmp_path / "b.json"
+        for scheme, path in (("lru", a_path), ("stem", b_path)):
+            assert main([
+                "run", scheme, "vpr", "--sets", "32",
+                "--length", "8000", "--window", "2000",
+                "--save-run", str(path),
+            ]) == 0
+        capsys.readouterr()
+        json_path = tmp_path / "diff.json"
+        out_path = tmp_path / "diff.txt"
+        code = main([
+            "diff", str(a_path), str(b_path),
+            "--json", str(json_path), "--out", str(out_path),
+        ])
+        assert code == 0
+        report = out_path.read_text()
+        assert "run diff: A = LRU on vpr" in report
+        import json
+
+        payload = json.loads(json_path.read_text())
+        assert payload["label_b"] == "STEM on vpr"
+        # Byte stability across invocations is part of the contract.
+        assert main([
+            "diff", str(a_path), str(b_path), "--out", str(out_path),
+        ]) == 0
+        assert out_path.read_text() == report
+
+    def test_report_legacy_text_unchanged(self, capsys):
+        code = main(["report", "vpr", "--sets", "32",
+                     "--length", "8000"])
+        assert code == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_report_html_out(self, capsys, tmp_path):
+        page = tmp_path / "report.html"
+        argv = [
+            "report", "vpr", "--scheme", "stem", "--vs", "lru",
+            "--sets", "32", "--length", "8000", "--window", "2000",
+            "--out", str(page),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        html = page.read_text()
+        assert html.startswith("<!DOCTYPE html>")
+        assert "http" not in html.lower()
+        assert "<svg" in html
+        # Second invocation writes identical bytes.
+        assert main(argv) == 0
+        assert page.read_text() == html
+
     def test_figure_table3(self, capsys):
         assert main(["figure", "table3"]) == 0
         assert "Table 3" in capsys.readouterr().out

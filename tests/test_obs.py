@@ -29,7 +29,9 @@ from repro.obs.events import (
     Coupling,
     Decoupling,
     Eviction,
+    FaultInjected,
     PolicySwap,
+    SafeModeEntry,
     ShadowHit,
     Spill,
     SpillReject,
@@ -38,6 +40,7 @@ from repro.obs.events import (
 from repro.obs.inspect import (
     coupling_lifetimes,
     coupling_spans,
+    event_clock,
     event_counts,
     per_set_counts,
     spill_fanout,
@@ -359,6 +362,61 @@ class TestInspect:
         assert "eviction" in digest
         assert "couplings: 1 pairs" in digest
         assert summarize_events([]) == "no events recorded"
+
+    def test_summarize_fault_only_log(self):
+        """A `repro faults` JSONL can hold nothing but fault events."""
+        events = [
+            FaultInjected(access=5, set_index=3, target="sc_s",
+                          detail="bit 2"),
+            FaultInjected(access=9, set_index=3, target="sc_s"),
+            FaultInjected(access=12, set_index=-1, target="trace"),
+        ]
+        digest = summarize_events(events)
+        assert "faults: 3 injected across 2 target(s)" in digest
+        assert "sc_s=2" in digest and "trace=1" in digest
+        assert "1 set(s) directly hit" in digest
+
+    def test_summarize_safe_mode_only_log(self):
+        events = [
+            SafeModeEntry(access=7, set_index=4, reason="heap"),
+            SafeModeEntry(access=9, set_index=4, reason="heap"),
+            SafeModeEntry(access=11, set_index=6, reason="counter"),
+        ]
+        digest = summarize_events(events)
+        assert "safe mode: 3 entries pinned 2 set(s)" in digest
+
+    def test_event_clock_prefers_global_access(self):
+        stamped = Coupling(access=3, set_index=1, giver=2,
+                           global_access=503)
+        legacy = Coupling(access=3, set_index=1, giver=2)
+        assert event_clock(stamped) == 503
+        assert event_clock(legacy) == 3
+
+    def test_old_jsonl_records_still_load(self):
+        # Pre-global_access payloads must rebuild with the default 0.
+        record = {"kind": "eviction", "access": 10, "set_index": 3,
+                  "tag": 7, "dirty": False, "cooperative": False}
+        event = event_from_dict(record)
+        assert event.global_access == 0
+        assert event_clock(event) == 10
+
+    def test_coupling_spans_use_global_clock(self):
+        # access rewinds (warm-up reset) but global_access does not;
+        # the lifetime must come from the monotonic clock.
+        events = [
+            Coupling(access=900, set_index=3, giver=7,
+                     global_access=900),
+            Decoupling(access=150, set_index=3, giver=7,
+                       global_access=1_150),
+        ]
+        assert coupling_lifetimes(events) == [250]
+        swaps = [
+            PolicySwap(access=800, set_index=4, mode="BIP",
+                       global_access=800),
+            PolicySwap(access=100, set_index=4, mode="LRU",
+                       global_access=1_100),
+        ]
+        assert swap_cadence(swaps)[4] == [300]
 
 
 class TestProfiler:

@@ -146,6 +146,51 @@ class TestParallelEquivalence:
         with pytest.raises(ConfigError, match="max_workers"):
             ParallelRunner(max_workers=0)
 
+    def test_metrics_series_identical_across_worker_counts(
+        self, monkeypatch
+    ):
+        """Windowed series survive the pool byte-for-byte; failed
+        cells carry no series."""
+        import json
+
+        monkeypatch.setitem(
+            sim_config._SCHEME_FACTORIES, "boom", _poisoned_factory
+        )
+        monkeypatch.setitem(sim_config._DISPLAY_NAMES, "boom", "BOOM")
+        traces = [small_trace("omnetpp", 4_000), small_trace("vpr", 4_000)]
+        schemes = ["lru", "boom", "stem"]
+
+        def series_fingerprint(matrix):
+            table = {}
+            for workload in matrix.workloads:
+                for scheme in matrix.schemes:
+                    series = matrix.series_for(workload, scheme)
+                    table[(workload, scheme)] = (
+                        json.dumps(series.as_dict(), sort_keys=True)
+                        if series is not None else None
+                    )
+            return table
+
+        serial = run_matrix(
+            traces, schemes, scale=SCALE, seed=5, metrics_window=1_000
+        )
+        reference = series_fingerprint(serial)
+        assert len(serial.failures) == 2
+        # Successful cells all carry series; poisoned cells (recorded
+        # under their CellSpec label, "boom") carry none.
+        for (workload, scheme), value in reference.items():
+            if scheme == "boom":
+                assert value is None
+            else:
+                assert value is not None, (workload, scheme)
+        parallel = run_matrix(
+            traces, schemes, scale=SCALE, seed=5, metrics_window=1_000,
+            max_workers=4,
+        )
+        assert series_fingerprint(parallel) == reference
+        assert _matrix_fingerprint(parallel) == \
+            _matrix_fingerprint(serial)
+
 
 # ----------------------------------------------------------------------
 # Content-addressed run cache
