@@ -13,6 +13,13 @@ Two surfaces share this module:
   ``BENCH_GUARD_RATIO`` (default 0.8, i.e. a >20 % regression) of the
   committed numbers.  Keys starting with ``_`` are metadata and are
   never guarded.
+
+Every ``BENCH_RECORD=1`` run additionally appends one entry to the
+``BENCH_HISTORY.jsonl`` ledger (rates + manifest hashes + machine
+params), and the guard prints the per-scheme trajectory report from
+that ledger — drift across recordings that individual guard runs
+cannot see.  Recording covers **every** scheme in the factory registry
+(aliases deduplicated), not just the paper's headline four.
 """
 
 import gc
@@ -23,7 +30,17 @@ from pathlib import Path
 import pytest
 
 from repro.common.io import atomic_write_text
-from repro.sim.config import ExperimentScale, make_scheme
+from repro.obs.benchhistory import (
+    append_history,
+    detect_regressions,
+    load_history,
+    make_entry,
+)
+from repro.sim.config import (
+    ExperimentScale,
+    make_scheme,
+    registry_scheme_keys,
+)
 from repro.sim.simulator import run_trace
 from repro.workloads.spec_like import make_benchmark_trace
 
@@ -32,9 +49,12 @@ TRACE = make_benchmark_trace("omnetpp", num_sets=64, length=20_000)
 
 #: Reference workload for the recorded/guarded numbers: long enough
 #: that per-run noise stays within a few percent on a quiet machine.
-RECORD_SCHEMES = ("lru", "dip", "pelifo", "stem")
+#: Every distinct scheme in the registry is recorded, so the history
+#: ledger covers the full comparison space.
+RECORD_SCHEMES = tuple(registry_scheme_keys())
 RECORD_LENGTH = 200_000
 ARTEFACT = Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
+HISTORY = Path(__file__).resolve().parent.parent / "BENCH_HISTORY.jsonl"
 
 
 @pytest.mark.parametrize(
@@ -104,6 +124,10 @@ def test_bench_record_throughput():
     atomic_write_text(
         ARTEFACT, json.dumps(document, indent=2, sort_keys=True) + "\n"
     )
+    # Ledger append: the same measurement becomes one trajectory point.
+    append_history(HISTORY, make_entry({
+        scheme: document[scheme] for scheme in RECORD_SCHEMES
+    }))
     assert all(document[s]["accesses_per_sec"] > 0 for s in RECORD_SCHEMES)
 
 
@@ -115,6 +139,14 @@ def test_bench_throughput_guard():
     assert ARTEFACT.is_file(), f"missing committed artefact {ARTEFACT}"
     document = json.loads(ARTEFACT.read_text(encoding="utf-8"))
     ratio = float(os.environ.get("BENCH_GUARD_RATIO", "0.8"))
+    # Trajectory report from the ledger: drift across recordings that a
+    # single guard run cannot see.  Informational — the hard floor below
+    # stays the committed-artefact comparison.
+    history = load_history(HISTORY)
+    if history:
+        print(f"\nbench-history trajectory ({len(history)} recordings):")
+        for verdict in detect_regressions(history):
+            print(f"  {verdict}")
     failures = []
     for scheme, recorded in document.items():
         if scheme.startswith("_"):

@@ -7,7 +7,12 @@ Commands
              ``--series-jsonl`` and ``--series-prom`` export them)
 ``compare``  run several schemes on one benchmark side by side
 ``bench``    run a scheme x benchmark grid, optionally in parallel
-             (``--jobs N``) and with a content-addressed run cache
+             (``--jobs N``), with a content-addressed run cache, live
+             telemetry (``--telemetry DIR``), and the bench-history
+             trend view (``--history``)
+``top``      live fleet view of a telemetry run directory: per-cell
+             progress, worker resources, ETA, stall verdicts
+             (``--once`` for a single snapshot + ``status.json``)
 ``diff``     compare two runs — saved run files or scheme names run
              in-process — as a byte-stable delta report
 ``trace``    run one scheme with event tracing (JSONL log + aggregates)
@@ -29,6 +34,8 @@ from __future__ import annotations
 
 import argparse
 import json
+import sys
+import time
 from pathlib import Path
 from typing import List, Optional
 
@@ -51,8 +58,12 @@ from repro.experiments import (
     traffic,
 )
 from repro.analysis.report import build_report, render_report
+from repro._version import __version__
+from repro.common.errors import ReproError
 from repro.common.io import atomic_write_text
+from repro.obs.benchhistory import load_history, render_history
 from repro.obs.diff import diff_results
+from repro.obs.fleet import load_fleet, render_top, write_status
 from repro.obs.htmlreport import diff_to_html, render_run_html
 from repro.obs.profile import PhaseTimer, RunProfiler
 from repro.obs.sinks import JsonlSink, RingBufferSink
@@ -183,6 +194,9 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.history:
+        print(render_history(load_history(args.history_file)), end="")
+        return 0
     scale = _scale_from(args)
     schemes = [s.strip() for s in args.schemes.split(",")]
     benchmarks = (
@@ -200,6 +214,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         profiler=profiler,
         max_workers=args.jobs,
         run_cache=run_cache,
+        telemetry_dir=args.telemetry,
     )
     table = matrix.metric_table(lambda result: result.mpki)
     print(format_table(table, matrix.schemes, title="MPKI"))
@@ -209,9 +224,45 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if run_cache is not None:
         print(f"run cache ({run_cache.root}): {run_cache.hits} hit(s), "
               f"{run_cache.misses} miss(es), {len(run_cache)} stored")
+    if args.telemetry:
+        print(f"telemetry written to {args.telemetry} "
+              f"(watch with: repro top {args.telemetry})")
     if args.profile or args.profile_json:
         _finish_profile(profiler, args)
     return 1 if matrix.failures else 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    run_dir = Path(args.run_dir)
+    if not run_dir.is_dir():
+        print(f"repro top: no telemetry directory at {run_dir}",
+              file=sys.stderr)
+        return 2
+
+    def snapshot() -> tuple:
+        status = load_fleet(run_dir, stall_after=args.stall_after)
+        write_status(run_dir, status)
+        return status, render_top(status)
+
+    if args.once:
+        status, rendered = snapshot()
+        print(rendered, end="")
+        print(f"wrote {run_dir / 'status.json'}")
+        return 3 if status.stalled_cells else 0
+    # Refreshing view: redraw until the grid is finished (or ^C).  The
+    # aggregator only reads, so watching a live grid from another
+    # terminal is safe.
+    try:
+        while True:
+            status, rendered = snapshot()
+            sys.stdout.write("\x1b[2J\x1b[H" + rendered)
+            sys.stdout.flush()
+            if status.finished:
+                break
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        print()
+    return 0
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -404,6 +455,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="STEM (MICRO 2010) reproduction toolkit",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     run_parser = commands.add_parser(
@@ -467,9 +521,54 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-run-cache", action="store_true",
         help="always simulate; do not read or write the run cache"
     )
+    bench_parser.add_argument(
+        "--telemetry", metavar="DIR", default=None,
+        help="write live fleet telemetry (spans, heartbeats, "
+             "status.json) to DIR; watch it with 'repro top DIR'"
+    )
+    bench_parser.add_argument(
+        "--history", action="store_true",
+        help="print the bench-history trend view and exit "
+             "(no simulation)"
+    )
+    bench_parser.add_argument(
+        "--history-file", metavar="PATH", default="BENCH_HISTORY.jsonl",
+        help="bench-history ledger location "
+             "(default BENCH_HISTORY.jsonl)"
+    )
     _add_scale_arguments(bench_parser)
     _add_profile_arguments(bench_parser)
     bench_parser.set_defaults(handler=_cmd_bench)
+
+    top_parser = commands.add_parser(
+        "top",
+        help="live fleet view of a telemetry run directory",
+        description=(
+            "Merge a run directory's telemetry channel (grid.jsonl + "
+            "cells/*.jsonl) into a live view: per-cell progress, "
+            "worker RSS/CPU/GC, accesses/sec, ETA, and stall verdicts "
+            "for workers whose heartbeats stopped.  Each snapshot also "
+            "refreshes the machine-readable status.json.  Exit code 3 "
+            "flags a stalled worker under --once."
+        ),
+    )
+    top_parser.add_argument(
+        "run_dir", help="telemetry directory (see bench --telemetry)"
+    )
+    top_parser.add_argument(
+        "--once", action="store_true",
+        help="print one snapshot and exit instead of refreshing"
+    )
+    top_parser.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="refresh interval for the live view (default 2.0)"
+    )
+    top_parser.add_argument(
+        "--stall-after", type=float, default=5.0, metavar="SECONDS",
+        help="heartbeat age that flags a running cell as stalled "
+             "(default 5.0)"
+    )
+    top_parser.set_defaults(handler=_cmd_top)
 
     diff_parser = commands.add_parser(
         "diff",
@@ -623,10 +722,21 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Library errors (bad configuration, malformed traces/files, watchdog
+    timeouts, ...) are reported as one ``repro: error:`` line on stderr
+    with exit code 2 — never a bare traceback; an interrupt exits 130.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except ReproError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        return 130
 
 
 if __name__ == "__main__":

@@ -22,6 +22,16 @@ and the README's *Observability* section):
 * **diff + htmlreport** — :func:`diff_results` compares two runs into
   a byte-stable delta report; :func:`render_run_html` renders one run
   or an A/B pair as a self-contained single-file HTML dashboard.
+* **telemetry + fleet** — live fleet telemetry (DESIGN.md §11): a
+  per-run channel of append-only JSONL status files carrying grid →
+  cell → phase spans, wall-clock-throttled heartbeats with worker
+  resource samples, and retries; :func:`load_fleet` merges the channel
+  into a :class:`FleetStatus` with ETA and stall verdicts, rendered by
+  ``repro top`` and exported as ``status.json``.
+* **benchhistory** — the append-only ``BENCH_HISTORY.jsonl`` ledger of
+  throughput recordings plus :func:`detect_regressions`, the
+  trajectory detector behind ``repro bench --history`` and the
+  BENCH_GUARD report.
 """
 
 from repro.obs.events import (
@@ -51,8 +61,33 @@ from repro.obs.inspect import (
     summarize_events,
     swap_cadence,
 )
+from repro.obs.benchhistory import (
+    TrajectoryVerdict,
+    append_history,
+    detect_regressions,
+    load_history,
+    make_entry,
+    render_history,
+    scheme_trajectories,
+)
+from repro.obs.fleet import (
+    CellFleetStatus,
+    FleetStatus,
+    load_fleet,
+    render_top,
+    write_status,
+)
 from repro.obs.metrics import MetricsRegistry, MetricsSeries
 from repro.obs.manifest import RunManifest, build_manifest, describe_scheme
+from repro.obs.telemetry import (
+    CellTelemetry,
+    GridTelemetry,
+    TelemetrySpec,
+    cell_span_id,
+    cell_status_path,
+    read_status_lines,
+    resource_sample,
+)
 from repro.obs.profile import PhaseTimer, ProfileRecord, RunProfiler
 from repro.obs.sinks import (
     JsonlSink,
@@ -64,11 +99,15 @@ from repro.obs.tracer import NULL_TRACER, Tracer, TraceSink
 
 __all__ = [
     "EVENT_TYPES",
+    "CellFleetStatus",
+    "CellTelemetry",
     "Coupling",
     "CouplingSpan",
     "Decoupling",
     "Eviction",
     "FaultInjected",
+    "FleetStatus",
+    "GridTelemetry",
     "JsonlSink",
     "MetricDelta",
     "MetricsRegistry",
@@ -86,10 +125,25 @@ __all__ = [
     "ShadowHit",
     "Spill",
     "SpillReject",
+    "TelemetrySpec",
     "TraceEvent",
     "TraceSink",
     "Tracer",
+    "TrajectoryVerdict",
+    "append_history",
     "build_manifest",
+    "cell_span_id",
+    "cell_status_path",
+    "detect_regressions",
+    "load_fleet",
+    "load_history",
+    "make_entry",
+    "read_status_lines",
+    "render_history",
+    "render_top",
+    "resource_sample",
+    "scheme_trajectories",
+    "write_status",
     "coupling_lifetimes",
     "coupling_spans",
     "describe_scheme",

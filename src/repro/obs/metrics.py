@@ -39,6 +39,7 @@ as JSONL or Prometheus-style text via ``common/io.atomic_write``.
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Union
@@ -52,8 +53,23 @@ DERIVED_RATES = ("miss_rate", "shadow_hit_rate", "spill_accept_rate")
 
 
 def _format_value(value: float) -> str:
-    """Deterministic short decimal form for text exports."""
+    """Deterministic short decimal form for text exports.
+
+    Non-finite samples use the spellings the Prometheus text format
+    defines (``NaN``, ``+Inf``, ``-Inf``) rather than Python's.
+    """
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
     return format(value, ".10g")
+
+
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus exposition format."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
 
 
 @dataclass
@@ -150,9 +166,15 @@ class MetricsSeries:
 
         Counter metrics report the window-delta sum (the measured-phase
         total); everything else is a gauge reporting its final sample.
+        Label values are escaped per the exposition format, non-finite
+        gauges render as ``NaN``/``+Inf``/``-Inf``, and a series with
+        no recorded windows produces an empty (zero-byte) exposition.
         """
         counters = set(counter_field_names())
-        labels = f'{{scheme="{self.scheme}",trace="{self.trace_name}"}}'
+        labels = (
+            f'{{scheme="{_escape_label_value(self.scheme)}"'
+            f',trace="{_escape_label_value(self.trace_name)}"}}'
+        )
         lines: List[str] = []
         for name in sorted(self.series):
             values = self.series[name]
@@ -165,6 +187,8 @@ class MetricsSeries:
             metric = f"repro_{name}"
             lines.append(f"# TYPE {metric} {kind}")
             lines.append(f"{metric}{labels} {_format_value(value)}")
+        if not lines:
+            return ""
         return "\n".join(lines) + "\n"
 
     def save_jsonl(self, path: Union[str, Path]) -> None:

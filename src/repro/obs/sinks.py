@@ -8,6 +8,7 @@ typed events — the archival format the ``repro trace`` command writes.
 
 from __future__ import annotations
 
+import atexit
 import json
 import warnings
 from collections import deque
@@ -62,6 +63,11 @@ class JsonlSink:
     run loses at most N events (plus, at worst, one truncated final
     line, which :func:`load_events` can be asked to tolerate); the
     default keeps normal Python buffering for throughput.
+
+    Every open sink registers an ``atexit`` close, so a process that
+    exits without unwinding (a pool worker hitting ``os._exit`` paths,
+    a script that forgets the ``with`` block) still flushes its tail
+    events; an explicit :meth:`close` unregisters it again.
     """
 
     def __init__(
@@ -75,6 +81,7 @@ class JsonlSink:
         self.flush_every = flush_every
         self._handle: Optional[TextIO] = self.path.open("w", encoding="utf-8")
         self.total_recorded = 0
+        atexit.register(self.close)
 
     def record(self, event: TraceEvent) -> None:
         """Serialise one event as a JSON line."""
@@ -90,6 +97,7 @@ class JsonlSink:
         if self._handle is not None:
             self._handle.close()
             self._handle = None
+            atexit.unregister(self.close)
 
     def __enter__(self) -> "JsonlSink":
         return self

@@ -64,6 +64,7 @@ def guarded_run(
     warmup_fraction: float = 0.25,
     machine: Optional[MachineConfig] = None,
     metrics_window: Optional[int] = None,
+    telemetry=None,
 ) -> Union[RunResult, RunFailure]:
     """Run one (scheme, trace) cell with isolation.
 
@@ -73,25 +74,47 @@ def guarded_run(
     :class:`RunFailure` describing the *last* error once the retry
     budget is exhausted.  ``KeyboardInterrupt``/``SystemExit`` are never
     swallowed.
+
+    ``telemetry`` (a :class:`~repro.obs.telemetry.CellTelemetry`)
+    reports the cell span live over the run's status-file channel: the
+    start (with seed, watchdog and retry budget), each failed attempt,
+    heartbeats from inside the simulation loop, and the final verdict —
+    so a parent aggregator can tell a slow cell from a stalled worker
+    before the watchdog deadline converts it into a RunFailure.
     """
     retry = retry if retry is not None else DEFAULT_RETRY
     seeds = retry.seeds(base_seed)
     started = perf_counter()
     last_error: Optional[BaseException] = None
+    if telemetry is not None:
+        telemetry.cell_start(
+            total_accesses=len(trace),
+            seed=base_seed,
+            watchdog_seconds=watchdog_seconds,
+            max_attempts=retry.max_attempts,
+        )
     for attempt, seed in enumerate(seeds, start=1):
         try:
             cache = make_cache(seed)
-            return run_trace(
+            result = run_trace(
                 cache,
                 trace,
                 warmup_fraction=warmup_fraction,
                 machine=machine,
                 deadline_seconds=watchdog_seconds,
                 metrics_window=metrics_window,
+                telemetry=telemetry,
             )
+            if telemetry is not None:
+                telemetry.cell_end("ok")
+            return result
         except Exception as exc:  # noqa: BLE001 — isolation is the point
             last_error = exc
+            if telemetry is not None:
+                telemetry.attempt_failed(attempt, seed, str(exc))
     # max_attempts >= 1 guarantees at least one loop pass set last_error.
+    if telemetry is not None:
+        telemetry.cell_end("failed", error_type=type(last_error).__name__)
     return RunFailure(
         workload=trace.name,
         scheme=scheme,

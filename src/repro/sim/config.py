@@ -131,6 +131,25 @@ def available_schemes() -> List[str]:
     return sorted({_DISPLAY_NAMES[key] for key in _SCHEME_FACTORIES})
 
 
+def registry_scheme_keys() -> List[str]:
+    """One factory key per distinct scheme, aliases deduplicated.
+
+    Spelling aliases (``vway``/``v-way``, ``static-sbc``/``staticsbc``)
+    map to the same display name; the first registered key wins, in
+    registration order — the stable iteration set for anything that
+    wants to cover *every* scheme exactly once (e.g. the throughput
+    recorder).
+    """
+    keys: List[str] = []
+    seen: set = set()
+    for key in _SCHEME_FACTORIES:
+        display = _DISPLAY_NAMES[key]
+        if display not in seen:
+            seen.add(display)
+            keys.append(key)
+    return keys
+
+
 def canonical_scheme_name(name: str) -> str:
     """Map any accepted spelling to the display name used in tables."""
     key = name.lower()

@@ -35,12 +35,19 @@ import hashlib
 import json
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import asdict, dataclass
+from time import perf_counter
 from typing import Any, Dict, List, Optional, Sequence, Union
 
 from repro.cache.geometry import CacheGeometry
 from repro.common.errors import ConfigError
+from repro.obs.fleet import load_fleet, write_status
 from repro.obs.manifest import build_manifest
 from repro.obs.profile import RunProfiler
+from repro.obs.telemetry import (
+    CellTelemetry,
+    GridTelemetry,
+    TelemetrySpec,
+)
 from repro.resilience.harness import RetryPolicy, guarded_run
 from repro.sim.config import MachineConfig, make_scheme
 from repro.sim.results import RunFailure
@@ -77,28 +84,67 @@ class CellSpec:
     metrics_window: Optional[int] = None
 
 
-def _execute_cell(spec: CellSpec) -> CellOutcome:
-    """Run one cell; module-level so it pickles into pool workers."""
-    if not spec.isolate:
-        cache = make_scheme(spec.scheme, spec.geometry, seed=spec.seed)
-        return run_trace(
-            cache,
+def _execute_cell(
+    spec: CellSpec, telemetry_spec: Optional[TelemetrySpec] = None
+) -> CellOutcome:
+    """Run one cell; module-level so it pickles into pool workers.
+
+    ``telemetry_spec`` is the per-run telemetry channel handed over by
+    the parent :class:`ParallelRunner`; combined with the cell index it
+    yields the worker-side :class:`CellTelemetry` writer (span ids are
+    a pure function of the grid span and the index, so no handshake
+    crosses the process boundary).
+    """
+    telemetry: Optional[CellTelemetry] = None
+    if telemetry_spec is not None:
+        telemetry = CellTelemetry(
+            telemetry_spec,
+            index=spec.index,
+            label=spec.label,
+            workload=spec.trace.name,
+        )
+    try:
+        if not spec.isolate:
+            if telemetry is not None:
+                telemetry.cell_start(
+                    total_accesses=len(spec.trace),
+                    seed=spec.seed,
+                    watchdog_seconds=spec.watchdog_seconds,
+                )
+            try:
+                cache = make_scheme(spec.scheme, spec.geometry, seed=spec.seed)
+                result = run_trace(
+                    cache,
+                    spec.trace,
+                    warmup_fraction=spec.warmup_fraction,
+                    machine=spec.machine,
+                    metrics_window=spec.metrics_window,
+                    telemetry=telemetry,
+                )
+            except BaseException as exc:
+                if telemetry is not None:
+                    telemetry.cell_end(
+                        "failed", error_type=type(exc).__name__
+                    )
+                raise
+            if telemetry is not None:
+                telemetry.cell_end("ok")
+            return result
+        return guarded_run(
+            lambda seed: make_scheme(spec.scheme, spec.geometry, seed=seed),
             spec.trace,
+            scheme=spec.label,
+            base_seed=spec.seed,
+            retry=spec.retry,
+            watchdog_seconds=spec.watchdog_seconds,
             warmup_fraction=spec.warmup_fraction,
             machine=spec.machine,
             metrics_window=spec.metrics_window,
+            telemetry=telemetry,
         )
-    return guarded_run(
-        lambda seed: make_scheme(spec.scheme, spec.geometry, seed=seed),
-        spec.trace,
-        scheme=spec.label,
-        base_seed=spec.seed,
-        retry=spec.retry,
-        watchdog_seconds=spec.watchdog_seconds,
-        warmup_fraction=spec.warmup_fraction,
-        machine=spec.machine,
-        metrics_window=spec.metrics_window,
-    )
+    finally:
+        if telemetry is not None:
+            telemetry.close()
 
 
 def cell_cache_key(spec: CellSpec) -> Optional[str]:
@@ -140,6 +186,16 @@ class ParallelRunner:
     same code, which is what makes the equivalence guarantee cheap to
     maintain.  With more workers, cells run under a
     ``ProcessPoolExecutor`` and results are stitched back by index.
+
+    ``telemetry_dir`` arms the live fleet-telemetry channel
+    (DESIGN.md §11): the runner opens a :class:`GridTelemetry` over the
+    directory, plans every cell, ships a :class:`TelemetrySpec` into
+    each worker (whose :class:`CellTelemetry` writes spans, heartbeats
+    and resource samples), records completions, and refreshes the
+    machine-readable ``status.json`` at most every ``status_interval``
+    seconds — the surface ``repro top`` renders.  Telemetry never
+    influences outcomes: matrices are byte-identical with it on or off,
+    serial or parallel.
     """
 
     def __init__(
@@ -147,6 +203,8 @@ class ParallelRunner:
         max_workers: Optional[int] = None,
         run_cache: Optional[Any] = None,
         profiler: Optional[RunProfiler] = None,
+        telemetry_dir: Optional[Any] = None,
+        status_interval: float = 1.0,
     ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ConfigError(
@@ -155,14 +213,46 @@ class ParallelRunner:
         self.max_workers = max_workers
         self.run_cache = run_cache
         self.profiler = profiler
+        self.telemetry_dir = telemetry_dir
+        self.status_interval = status_interval
 
     def run(self, specs: Sequence[CellSpec]) -> List[CellOutcome]:
         """Execute every cell; returns outcomes in ``specs`` order."""
+        if self.telemetry_dir is None:
+            return self._run(specs, None)
+        # Telemetry armed: the grid span, per-cell plans, completions
+        # and periodic status.json snapshots flow through the run-dir
+        # channel; the simulation outcomes are byte-identical either
+        # way (the writers only observe).
+        with GridTelemetry(self.telemetry_dir) as grid:
+            grid.grid_start(len(specs))
+            for spec in specs:
+                grid.cell_plan(
+                    index=spec.index,
+                    label=spec.label,
+                    workload=spec.trace.name,
+                    total_accesses=len(spec.trace),
+                    watchdog_seconds=spec.watchdog_seconds,
+                )
+            try:
+                return self._run(specs, grid)
+            finally:
+                grid.grid_end()
+                self._write_status(grid)
+
+    def _write_status(self, grid: GridTelemetry) -> None:
+        write_status(grid.run_dir, load_fleet(grid.run_dir))
+
+    def _run(
+        self, specs: Sequence[CellSpec], grid: Optional[GridTelemetry]
+    ) -> List[CellOutcome]:
         results: List[Optional[CellOutcome]] = [None] * len(specs)
         pending: List[tuple] = []
         run_cache = self.run_cache
         hits_before = run_cache.hits if run_cache is not None else 0
         misses_before = run_cache.misses if run_cache is not None else 0
+        telemetry_spec = grid.spec if grid is not None else None
+        last_status = perf_counter()
         for position, spec in enumerate(specs):
             key = None
             if run_cache is not None:
@@ -170,21 +260,42 @@ class ParallelRunner:
                 cached = run_cache.get(key) if key is not None else None
                 if cached is not None:
                     results[position] = cached
+                    if grid is not None:
+                        grid.cell_cached(spec.index)
                     continue
             pending.append((position, spec, key))
+
+        def note_done(spec: CellSpec, outcome: CellOutcome) -> None:
+            nonlocal last_status
+            if grid is None:
+                return
+            grid.cell_done(
+                spec.index,
+                "failed" if isinstance(outcome, RunFailure) else "ok",
+            )
+            now = perf_counter()
+            if now - last_status >= self.status_interval:
+                last_status = now
+                self._write_status(grid)
+
         workers = self.max_workers
         if workers is None or workers <= 1 or len(pending) <= 1:
             for position, spec, key in pending:
-                results[position] = self._store(spec, key, _execute_cell(spec))
+                outcome = _execute_cell(spec, telemetry_spec)
+                results[position] = self._store(spec, key, outcome)
+                note_done(spec, outcome)
         else:
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 futures = {
-                    pool.submit(_execute_cell, spec): (position, spec, key)
+                    pool.submit(_execute_cell, spec, telemetry_spec):
+                        (position, spec, key)
                     for position, spec, key in pending
                 }
                 for future in as_completed(futures):
                     position, spec, key = futures[future]
-                    results[position] = self._store(spec, key, future.result())
+                    outcome = future.result()
+                    results[position] = self._store(spec, key, outcome)
+                    note_done(spec, outcome)
         if self.profiler is not None:
             # Profiler records are merged here, in canonical cell order,
             # from the timing payloads the workers returned — never by

@@ -50,6 +50,7 @@ def run_matrix(
     max_workers: Optional[int] = None,
     run_cache=None,
     metrics_window: Optional[int] = None,
+    telemetry_dir=None,
 ) -> ResultMatrix:
     """Run every scheme on every trace at one geometry.
 
@@ -60,7 +61,10 @@ def run_matrix(
     ``max_workers`` > 1 shards the cells across a process pool; the
     returned matrix is identical to the serial result on the same
     seeds.  ``run_cache`` (a :class:`~repro.sim.cache.RunCache`) skips
-    cells whose inputs already have a stored result.
+    cells whose inputs already have a stored result.  ``telemetry_dir``
+    arms the live fleet-telemetry channel over that directory — spans,
+    heartbeats, ``status.json`` — without changing any outcome (see
+    :class:`~repro.sim.parallel.ParallelRunner`).
     """
     scale = scale if scale is not None else ExperimentScale.default()
     geometry = scale.geometry()
@@ -82,7 +86,8 @@ def run_matrix(
                 metrics_window=metrics_window,
             ))
     runner = ParallelRunner(
-        max_workers=max_workers, run_cache=run_cache, profiler=profiler
+        max_workers=max_workers, run_cache=run_cache, profiler=profiler,
+        telemetry_dir=telemetry_dir,
     )
     matrix = ResultMatrix()
     for outcome in runner.run(specs):
@@ -105,6 +110,7 @@ def run_benchmarks(
     max_workers: Optional[int] = None,
     run_cache=None,
     metrics_window: Optional[int] = None,
+    telemetry_dir=None,
 ) -> ResultMatrix:
     """Run the (selected) SPEC-like benchmarks through every scheme."""
     scale = scale if scale is not None else ExperimentScale.default()
@@ -121,7 +127,8 @@ def run_benchmarks(
                       profiler=profiler, isolate=isolate, retry=retry,
                       watchdog_seconds=watchdog_seconds,
                       max_workers=max_workers, run_cache=run_cache,
-                      metrics_window=metrics_window)
+                      metrics_window=metrics_window,
+                      telemetry_dir=telemetry_dir)
 
 
 def associativity_sweep(
@@ -137,6 +144,7 @@ def associativity_sweep(
     max_workers: Optional[int] = None,
     run_cache=None,
     metrics_window: Optional[int] = None,
+    telemetry_dir=None,
 ) -> Dict[str, List[RunResult]]:
     """MPKI-vs-associativity curves (Figures 3 and 10).
 
@@ -172,7 +180,8 @@ def associativity_sweep(
             ))
             spec_scheme.append(scheme_name)
     runner = ParallelRunner(
-        max_workers=max_workers, run_cache=run_cache, profiler=profiler
+        max_workers=max_workers, run_cache=run_cache, profiler=profiler,
+        telemetry_dir=telemetry_dir,
     )
     curves: Dict[str, List[RunResult]] = {name: [] for name in schemes}
     for scheme_name, outcome in zip(spec_scheme, runner.run(specs)):

@@ -85,21 +85,29 @@ def _run_span(
     stop: int,
     deadline_at: Optional[float],
     trace_name: str,
+    beat=None,
 ) -> None:
     """Drive ``addresses[start:stop]`` through the cache.
 
-    One chunked loop serves every combination: with no deadline the
-    span is a single chunk (identical to the old tight loop); with a
-    watchdog armed the wall clock is checked every
+    One chunked loop serves every combination: with no deadline and no
+    telemetry the span is a single chunk (identical to the old tight
+    loop); with a watchdog armed the wall clock is checked every
     :data:`_WATCHDOG_STRIDE` accesses, raising
     :class:`WatchdogTimeout` so a hung or pathologically slow run
-    cannot stall a whole experiment grid.  When the scheme provides an
-    ``access_batch`` fast path, each chunk is handed over wholesale
-    with the precomputed ``(set_indices, tags)`` arrays.
+    cannot stall a whole experiment grid.  ``beat`` — the telemetry
+    heartbeat callback (:meth:`~repro.obs.telemetry.CellTelemetry.beat`)
+    — reuses the same stride; it receives the absolute access position
+    after every chunk and throttles its own writes by wall clock.  When
+    the scheme provides an ``access_batch`` fast path, each chunk is
+    handed over wholesale with the precomputed ``(set_indices, tags)``
+    arrays.
     """
     if start >= stop:
         return
-    stride = (stop - start) if deadline_at is None else _WATCHDOG_STRIDE
+    stride = (
+        (stop - start) if deadline_at is None and beat is None
+        else _WATCHDOG_STRIDE
+    )
     for chunk_start in range(start, stop, stride):
         chunk_stop = min(stop, chunk_start + stride)
         if batch is not None:
@@ -110,6 +118,8 @@ def _run_span(
         else:
             for index in range(chunk_start, chunk_stop):
                 access(addresses[index], writes[index])
+        if beat is not None:
+            beat(chunk_stop)
         if deadline_at is not None and perf_counter() > deadline_at:
             raise WatchdogTimeout(
                 f"trace {trace_name!r}: run exceeded its wall-clock "
@@ -125,6 +135,7 @@ def run_trace(
     with_writes: bool = True,
     deadline_seconds: Optional[float] = None,
     metrics_window: Optional[int] = None,
+    telemetry=None,
 ) -> RunResult:
     """Simulate ``trace`` on ``cache`` and evaluate the paper metrics.
 
@@ -146,6 +157,13 @@ def run_trace(
     accumulated statistics — so batch and scalar execution produce
     identical series (DESIGN.md §10).  With the default ``None`` the
     loop below is byte-identical to the uninstrumented path.
+
+    ``telemetry`` (a :class:`~repro.obs.telemetry.CellTelemetry`)
+    arms live status reporting: warm-up and measured phase spans plus
+    wall-clock-throttled heartbeats carrying worker resource samples.
+    Telemetry only *observes* — it never touches scheme state, RNG
+    draws or statistics, so results are byte-identical with it on or
+    off (DESIGN.md §11).
     """
     if not 0.0 <= warmup_fraction < 1.0:
         raise ConfigError(
@@ -171,21 +189,27 @@ def run_trace(
     else:
         set_indices = tags = None
     writes = trace.writes if with_writes else None
+    beat = telemetry.beat if telemetry is not None else None
     phase_start = perf_counter()
     deadline_at = (
         phase_start + deadline_seconds if deadline_seconds is not None
         else None
     )
+    if telemetry is not None:
+        telemetry.phase_start("warmup", 0)
     _run_span(access, batch, addresses, set_indices, tags, writes,
-              0, warm, deadline_at, trace.name)
+              0, warm, deadline_at, trace.name, beat)
     warmup_seconds = perf_counter() - phase_start
     cache.reset_stats()
     scheme = getattr(cache, "name", type(cache).__name__)
     registry: Optional[MetricsRegistry] = None
+    if telemetry is not None:
+        telemetry.phase_end("warmup", warm)
+        telemetry.phase_start("measured", warm)
     phase_start = perf_counter()
     if metrics_window is None:
         _run_span(access, batch, addresses, set_indices, tags, writes,
-                  warm, total, deadline_at, trace.name)
+                  warm, total, deadline_at, trace.name, beat)
     else:
         # Windowed measurement: the registry samples counters/gauges at
         # every boundary.  The registry constructor validates the window.
@@ -194,10 +218,12 @@ def run_trace(
         while position < total:
             stop = min(position + metrics_window, total)
             _run_span(access, batch, addresses, set_indices, tags, writes,
-                      position, stop, deadline_at, trace.name)
+                      position, stop, deadline_at, trace.name, beat)
             registry.sample(cache, stop - position)
             position = stop
     measured_seconds = perf_counter() - phase_start
+    if telemetry is not None:
+        telemetry.phase_end("measured", total)
     measured = total - warm
     instructions = max(
         1, round(trace.metadata.instructions * measured / total)

@@ -235,3 +235,39 @@ class TestCommands:
     def test_figure_profile(self, capsys):
         assert main(["figure", "table3", "--profile"]) == 0
         assert "wall-clock" in capsys.readouterr().out
+
+
+class TestExitCodes:
+    """The CLI contract: --version, and errors as codes, not tracebacks."""
+
+    def test_version_flag(self, capsys):
+        from repro._version import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert f"repro {__version__}" in capsys.readouterr().out
+
+    def test_library_error_exits_2_without_traceback(self, tmp_path, capsys):
+        # A corrupt saved-run file raises ConfigError inside the handler;
+        # main() must convert it to one stderr line and exit code 2.
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json", encoding="utf-8")
+        code = main(["diff", str(bad), str(bad)])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "repro: error:" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_bench_telemetry_hint(self, tmp_path, capsys):
+        run_dir = tmp_path / "fleet"
+        code = main([
+            "bench", "--schemes", "LRU", "--benchmarks", "vpr",
+            "--sets", "32", "--length", "6000", "--no-run-cache",
+            "--telemetry", str(run_dir),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"repro top {run_dir}" in out
+        assert (run_dir / "grid.jsonl").is_file()
+        assert (run_dir / "status.json").is_file()

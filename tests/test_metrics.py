@@ -221,6 +221,58 @@ class TestExporters:
             MetricsSeries.from_dict({"scheme": "x"})
 
 
+class TestPrometheusEdgeCases:
+    """Exposition-format corners: escaping, empties, non-finite values."""
+
+    def _series(self, scheme="STEM", trace="mcf", **series):
+        windows = max((len(v) for v in series.values()), default=0)
+        return MetricsSeries(
+            window_length=1_000,
+            scheme=scheme,
+            trace_name=trace,
+            window_accesses=[1_000] * windows,
+            series={name: list(vals) for name, vals in series.items()},
+        )
+
+    def test_empty_series_is_zero_byte_exposition(self):
+        assert self._series().to_prometheus() == ""
+
+    def test_metric_with_no_samples_is_skipped(self):
+        text = self._series(
+            occupancy=[0.5], empty_gauge=[]
+        ).to_prometheus()
+        assert "repro_occupancy" in text
+        assert "empty_gauge" not in text
+
+    def test_label_values_are_escaped(self):
+        series = self._series(
+            scheme='ST"EM\\x', trace="line1\nline2", occupancy=[0.5]
+        )
+        text = series.to_prometheus()
+        assert 'scheme="ST\\"EM\\\\x"' in text
+        assert 'trace="line1\\nline2"' in text
+        # The raw newline must not split the sample across lines.
+        assert len(text.splitlines()) == 2
+
+    def test_non_finite_gauges_use_prometheus_spellings(self):
+        text = self._series(
+            nan_gauge=[float("nan")],
+            pos_gauge=[float("inf")],
+            neg_gauge=[float("-inf")],
+        ).to_prometheus()
+        assert 'repro_nan_gauge{scheme="STEM",trace="mcf"} NaN' in text
+        assert 'repro_pos_gauge{scheme="STEM",trace="mcf"} +Inf' in text
+        assert 'repro_neg_gauge{scheme="STEM",trace="mcf"} -Inf' in text
+        # Python's own spellings must not leak into the exposition.
+        assert "inf\n" not in text and " nan" not in text
+
+    def test_escaped_export_still_saves_atomically(self, tmp_path):
+        series = self._series(scheme='a"b', occupancy=[1.0])
+        path = tmp_path / "edge.prom"
+        series.save_prometheus(path)
+        assert 'scheme="a\\"b"' in path.read_text()
+
+
 class TestPersistence:
     def test_run_cache_round_trips_series(self):
         result = windowed("stem", small_trace(length=8_000), window=2_000)
