@@ -10,6 +10,11 @@ Commands
              (``--jobs N``), with a content-addressed run cache, live
              telemetry (``--telemetry DIR``), and the bench-history
              trend view (``--history``)
+``campaign`` crash-recoverable declarative campaigns: ``run SPEC``
+             executes (and by default *resumes*) a journaled campaign
+             directory, ``resume`` is an explicit alias, and
+             ``status DIR`` replays the journal without running
+             anything
 ``top``      live fleet view of a telemetry run directory: per-cell
              progress, worker resources, ETA, stall verdicts
              (``--once`` for a single snapshot + ``status.json``)
@@ -72,6 +77,7 @@ from repro.obs.inspect import summarize_events
 from repro.resilience.campaign import run_fault_campaign
 from repro.resilience.faults import FAULT_TARGETS
 from repro.sim.cache import RunCache, load_run, save_run
+from repro.sim.campaign import campaign_status, run_campaign
 from repro.sim.config import ExperimentScale, available_schemes, make_scheme
 from repro.sim.results import format_series, format_table
 from repro.sim.runner import associativity_sweep, run_benchmarks
@@ -230,6 +236,40 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.profile or args.profile_json:
         _finish_profile(profiler, args)
     return 1 if matrix.failures else 0
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    profiler: Optional[RunProfiler] = None
+    if args.profile or args.profile_json:
+        profiler = RunProfiler()
+    outcome = run_campaign(
+        args.spec,
+        directory=args.dir,
+        jobs=args.jobs,
+        fresh=args.fresh,
+        run_cache_dir=args.run_cache,
+        telemetry_dir=args.telemetry,
+        profiler=profiler,
+    )
+    print(f"campaign {outcome.spec.name}: {outcome.total_cells} cells — "
+          f"{outcome.executed} executed, {outcome.resumed} resumed from "
+          f"the journal, {len(outcome.quarantined)} quarantined")
+    for entry in outcome.quarantined:
+        print(f"QUARANTINED cell {entry.cell:05d} {entry.cell_id}: "
+              f"{entry.failure.error_type}: {entry.failure.message}")
+    for label in ("matrix", "summary", "report"):
+        print(f"wrote {outcome.outputs[label]}")
+    if args.telemetry:
+        print(f"telemetry written to {args.telemetry} "
+              f"(watch with: repro top {args.telemetry})")
+    if profiler is not None:
+        _finish_profile(profiler, args)
+    return 1 if outcome.quarantined else 0
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    print(campaign_status(args.dir), end="")
+    return 0
 
 
 def _cmd_top(args: argparse.Namespace) -> int:
@@ -539,6 +579,63 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scale_arguments(bench_parser)
     _add_profile_arguments(bench_parser)
     bench_parser.set_defaults(handler=_cmd_bench)
+
+    campaign_parser = commands.add_parser(
+        "campaign",
+        help="crash-recoverable declarative campaigns (run/resume/status)",
+        description=(
+            "A campaign spec (JSON; TOML on Python 3.11+) names "
+            "benchmark sets, schemes, geometries, seeds and optional "
+            "fault plans; the cross product runs through the parallel "
+            "engine with every cell journaled to campaign.jsonl.  "
+            "'run' resumes by default — kill it anywhere and run it "
+            "again; completed cells are served from the run cache and "
+            "the final artefacts are byte-identical to an "
+            "uninterrupted run."
+        ),
+    )
+    campaign_commands = campaign_parser.add_subparsers(
+        dest="campaign_command", required=True
+    )
+    for verb, verb_help in (
+        ("run", "run (resuming by default) a campaign spec"),
+        ("resume", "alias of run: resume an interrupted campaign"),
+    ):
+        verb_parser = campaign_commands.add_parser(verb, help=verb_help)
+        verb_parser.add_argument("spec", help="campaign spec file")
+        verb_parser.add_argument(
+            "--dir", metavar="DIR", default=None,
+            help="campaign state directory "
+                 "(default: <spec stem>.campaign beside the spec)"
+        )
+        verb_parser.add_argument(
+            "--jobs", type=int, default=None, metavar="N",
+            help="shard cells across N worker processes"
+        )
+        verb_parser.add_argument(
+            "--fresh", action="store_true",
+            help="discard the journal and quarantine reports and "
+                 "start over (the run cache is kept)"
+        )
+        verb_parser.add_argument(
+            "--run-cache", metavar="DIR", default=None,
+            help="run cache directory (default: runcache/ inside the "
+                 "campaign directory)"
+        )
+        verb_parser.add_argument(
+            "--telemetry", metavar="DIR", default=None,
+            help="write live fleet telemetry to DIR "
+                 "(watch with 'repro top DIR')"
+        )
+        _add_profile_arguments(verb_parser)
+        verb_parser.set_defaults(handler=_cmd_campaign_run)
+    status_parser = campaign_commands.add_parser(
+        "status", help="replay a campaign journal without running"
+    )
+    status_parser.add_argument(
+        "dir", help="campaign state directory (holds campaign.jsonl)"
+    )
+    status_parser.set_defaults(handler=_cmd_campaign_status)
 
     top_parser = commands.add_parser(
         "top",

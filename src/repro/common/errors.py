@@ -42,6 +42,26 @@ class InvariantViolation(SimulationError):
     """
 
 
+class CampaignError(ReproError):
+    """A campaign could not be run or resumed.
+
+    Raised by the campaign layer for problems *around* the grid —
+    a journal that belongs to a different spec, a missing campaign
+    directory — never for individual cell failures, which are recorded
+    as :class:`~repro.sim.results.RunFailure` and quarantined instead.
+    """
+
+
+class CampaignSpecError(CampaignError):
+    """A declarative campaign spec failed preflight validation.
+
+    The message always names the spec file, the key path of the
+    offending entry (e.g. ``schemes[1]``) and the rejected value, so a
+    typo surfaces before any simulation cycles are spent — mirroring
+    the eager :class:`TraceError` contract of ``Trace.load``.
+    """
+
+
 class WatchdogTimeout(ReproError):
     """A simulation exceeded its per-run wall-clock deadline.
 

@@ -7,6 +7,13 @@ archival write in the package therefore goes through
 is fsync'ed, and is moved over the destination with :func:`os.replace`
 — atomic on POSIX and Windows — so readers only ever observe the old
 file or the complete new one.
+
+Environmental write failures — a full disk (``ENOSPC``), a read-only
+or permission-denied directory (``EACCES``/``EROFS``) — are reported
+as :class:`~repro.common.errors.ReproError` naming the destination, so
+a campaign that runs out of disk at cell 900 exits with one clean
+``repro: error:`` line (exit code 2) instead of a raw ``OSError``
+traceback; the temporary file is removed either way.
 """
 
 from __future__ import annotations
@@ -17,6 +24,14 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Iterator, TextIO, Union
 
+from repro.common.errors import ReproError
+
+
+def _write_error(path: Path, exc: OSError) -> ReproError:
+    """Wrap an environmental write failure into a clean library error."""
+    reason = exc.strerror or str(exc)
+    return ReproError(f"cannot write {path}: {reason}")
+
 
 @contextmanager
 def atomic_write(
@@ -26,21 +41,23 @@ def atomic_write(
 
     The temporary file lives in the destination directory (``rename``
     across filesystems is not atomic), is flushed and fsync'ed before
-    the rename, and is removed if the caller raises.
+    the rename, and is removed if the caller raises.  An ``OSError``
+    from the write path itself — creating the temporary file, writing
+    to it, or the final rename — surfaces as
+    :class:`~repro.common.errors.ReproError`; non-IO exceptions raised
+    by the caller propagate unchanged.
     """
     path = Path(path)
     parent = path.parent if str(path.parent) else Path(".")
-    fd, tmp_name = tempfile.mkstemp(
-        dir=str(parent), prefix=path.name + ".", suffix=".tmp"
-    )
-    handle = os.fdopen(fd, "w", encoding=encoding)
     try:
-        yield handle
-        handle.flush()
-        os.fsync(handle.fileno())
-        handle.close()
-        os.replace(tmp_name, path)
-    except BaseException:
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(parent), prefix=path.name + ".", suffix=".tmp"
+        )
+    except OSError as exc:
+        raise _write_error(path, exc) from exc
+    handle = os.fdopen(fd, "w", encoding=encoding)
+
+    def discard() -> None:
         try:
             handle.close()
         except OSError:
@@ -49,7 +66,25 @@ def atomic_write(
             os.unlink(tmp_name)
         except OSError:
             pass
+
+    try:
+        yield handle
+    except OSError as exc:
+        # A failed write into the handle (ENOSPC mid-stream) is an
+        # environment problem, not a caller bug: report it cleanly.
+        discard()
+        raise _write_error(path, exc) from exc
+    except BaseException:
+        discard()
         raise
+    try:
+        handle.flush()
+        os.fsync(handle.fileno())
+        handle.close()
+        os.replace(tmp_name, path)
+    except OSError as exc:
+        discard()
+        raise _write_error(path, exc) from exc
 
 
 def atomic_write_text(

@@ -310,6 +310,101 @@ def render_run_html(
     return "\n".join(parts) + "\n"
 
 
+#: Extra rules for campaign pages only (run pages stay byte-stable).
+_BANNER_STYLE = """
+.banner { border: 2px solid #b2182b; background: #fddbc7;
+          padding: 0.6em 1em; margin: 1em 0; }
+.banner h2 { margin: 0 0 0.4em 0; color: #b2182b; }
+"""
+
+
+def _metric_table_html(
+    rows: Dict[str, Dict[str, float]], columns: List[str]
+) -> str:
+    """A {workload: {scheme: value}} grid as an HTML table.
+
+    Missing cells (quarantined runs) render as ``-``, mirroring
+    :func:`~repro.sim.results.format_table`.
+    """
+    lines = ["<table>", '<tr><th class="name">workload</th>']
+    lines.extend(f"<th>{escape(column)}</th>" for column in columns)
+    lines.append("</tr>")
+    for name, values in rows.items():
+        cells = [f'<tr><td class="name">{escape(str(name))}</td>']
+        for column in columns:
+            value = values.get(column)
+            cells.append(
+                "<td>-</td>" if value is None else f"<td>{_fmt(value)}</td>"
+            )
+        cells.append("</tr>")
+        lines.append("".join(cells))
+    lines.append("</table>")
+    return "\n".join(lines)
+
+
+def render_campaign_html(
+    name: str,
+    total_cells: int,
+    mpki: Dict[str, Dict[str, float]],
+    schemes: List[str],
+    normalized: Optional[Dict[str, Dict[str, float]]] = None,
+    quarantined: Optional[List[Dict[str, object]]] = None,
+) -> str:
+    """Self-contained campaign report page (DESIGN.md §12).
+
+    Same contract as :func:`render_run_html` — one inline ``<style>``
+    block, zero network references, and byte-determinism (no wall-clock
+    or host state is rendered, so an interrupted-and-resumed campaign
+    emits exactly the bytes an uninterrupted one would).  When cells
+    were quarantined, a graceful-degradation banner lists each one with
+    its structured failure.
+    """
+    quarantined = quarantined or []
+    completed = total_cells - len(quarantined)
+    title = f"campaign report: {name}"
+    parts: List[str] = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        f"<title>{escape(title)}</title>",
+        f"<style>{_STYLE}{_BANNER_STYLE}</style>",
+        "</head><body>",
+        f"<h1>{escape(title)}</h1>",
+        f'<p class="note">{total_cells} cells, {completed} completed, '
+        f"{len(quarantined)} quarantined</p>",
+    ]
+    if quarantined:
+        parts.append('<div class="banner">')
+        parts.append(
+            f"<h2>degraded: {len(quarantined)} cell(s) quarantined</h2>"
+        )
+        parts.append(
+            '<p class="note">each cell exhausted its retry budget; the '
+            "rest of the campaign completed normally (see "
+            "quarantine/ for the structured reports)</p>"
+        )
+        parts.append("<ul>")
+        for entry in quarantined:
+            parts.append(
+                f"<li><code>{escape(str(entry.get('id', '?')))}</code> "
+                f"&mdash; {escape(str(entry.get('error_type', '?')))}: "
+                f"{escape(str(entry.get('message', '')))} "
+                f"({escape(str(entry.get('attempts', '?')))} "
+                "attempt(s))</li>"
+            )
+        parts.append("</ul></div>")
+    parts.append("<h2>MPKI</h2>")
+    parts.append(_metric_table_html(mpki, schemes))
+    if normalized is not None:
+        parts.append("<h2>MPKI normalized to LRU</h2>")
+        parts.append(
+            '<p class="note">per-workload normalisation; Geomean row '
+            "summarises across workloads</p>"
+        )
+        parts.append(_metric_table_html(normalized, schemes))
+    parts.append("</body></html>")
+    return "\n".join(parts) + "\n"
+
+
 def diff_to_html(a: RunResult, b: RunResult) -> str:
     """A/B page plus the plain-text diff in a ``<pre>`` appendix."""
     page = render_run_html(a, b)

@@ -79,11 +79,21 @@ class RunProfiler:
         self.records: List[ProfileRecord] = []
         self.run_cache_hits = 0
         self.run_cache_misses = 0
+        self.run_cache_corrupt = 0
 
-    def note_run_cache(self, hits: int, misses: int) -> None:
-        """Record run-cache traffic observed by a grid run."""
+    def note_run_cache(
+        self, hits: int, misses: int, corrupt: int = 0
+    ) -> None:
+        """Record run-cache traffic observed by a grid run.
+
+        ``corrupt`` counts entries the cache quarantined (renamed to
+        ``<key>.corrupt``) because they were unreadable — surfaced here
+        so a damaged cache directory is visible in the profile report
+        instead of hiding inside the miss count.
+        """
         self.run_cache_hits += hits
         self.run_cache_misses += misses
+        self.run_cache_corrupt += corrupt
 
     def add(self, result: Any) -> Optional[ProfileRecord]:
         """Ingest one ``RunResult`` (reads its attached manifest)."""
@@ -134,10 +144,17 @@ class RunProfiler:
         lines.append(f"total simulation wall-clock: {total_s:.3f}s "
                      f"over {len(self.records)} run(s)")
         if self.run_cache_hits or self.run_cache_misses:
-            lines.append(
+            line = (
                 f"run cache: {self.run_cache_hits} hit(s), "
                 f"{self.run_cache_misses} miss(es)"
             )
+            if self.run_cache_corrupt:
+                line += (
+                    f", {self.run_cache_corrupt} corrupt "
+                    f"entr{'y' if self.run_cache_corrupt == 1 else 'ies'} "
+                    "quarantined"
+                )
+            lines.append(line)
         return "\n".join(lines)
 
     def to_bench_json(self) -> Dict[str, Any]:
@@ -181,6 +198,8 @@ class RunProfiler:
                 "hits": self.run_cache_hits,
                 "misses": self.run_cache_misses,
             }
+            if self.run_cache_corrupt:
+                document["run_cache"]["corrupt"] = self.run_cache_corrupt
         return document
 
     def save_bench_json(self, path: Union[str, Path]) -> None:

@@ -9,7 +9,20 @@ from repro.sim.config import (
     make_scheme,
 )
 from repro.sim.cache import RunCache
-from repro.sim.parallel import CellSpec, ParallelRunner, cell_cache_key
+from repro.sim.campaign import (
+    CampaignOutcome,
+    CampaignSpec,
+    build_cells,
+    campaign_status,
+    load_campaign_spec,
+    run_campaign,
+)
+from repro.sim.parallel import (
+    CellObserver,
+    CellSpec,
+    ParallelRunner,
+    cell_cache_key,
+)
 from repro.sim.replication import (
     ReplicationSummary,
     compare_with_confidence,
@@ -26,6 +39,9 @@ from repro.sim.simulator import RunResult, run_trace
 from repro.sim.timeline import Timeline, run_timeline
 
 __all__ = [
+    "CampaignOutcome",
+    "CampaignSpec",
+    "CellObserver",
     "CellSpec",
     "ExperimentScale",
     "MachineConfig",
@@ -38,7 +54,11 @@ __all__ = [
     "RunResult",
     "Timeline",
     "associativity_sweep",
+    "build_cells",
+    "campaign_status",
     "cell_cache_key",
+    "load_campaign_spec",
+    "run_campaign",
     "available_schemes",
     "canonical_scheme_name",
     "compare_with_confidence",

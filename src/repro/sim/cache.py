@@ -18,6 +18,8 @@ corrupt, or format-incompatible entry is simply a miss.
 from __future__ import annotations
 
 import json
+import os
+import warnings
 from dataclasses import asdict
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
@@ -123,28 +125,64 @@ class RunCache:
     large grid does not put thousands of files in one directory.
     ``hits``/``misses`` count :meth:`get` outcomes for the profiler's
     report surface.
+
+    A *corrupt* entry — present on disk but unreadable or
+    format-incompatible — used to load as a silent miss on every
+    lookup, invisibly re-simulating the cell each time the store path
+    did not happen to replace it (failures and retry-reseeded successes
+    are never stored).  Instead it is quarantined on first sight:
+    renamed to ``<key>.corrupt`` beside its shard, counted in
+    :attr:`corrupt_entries` (surfaced by
+    :class:`~repro.obs.profile.RunProfiler`), and reported with one
+    warning; the re-simulated result then stores cleanly.
     """
 
     def __init__(self, root: Union[str, Path]) -> None:
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
+        self.corrupt_entries = 0
 
     def path_for(self, key: str) -> Path:
         """Where the entry for ``key`` lives (whether or not it exists)."""
         return self.root / key[:2] / f"{key}.json"
 
+    def _quarantine(self, path: Path, key: str, reason: str) -> None:
+        """Move a corrupt entry aside so the miss cannot recur silently."""
+        self.corrupt_entries += 1
+        target = path.with_suffix(".corrupt")
+        try:
+            os.replace(path, target)
+        except OSError:  # already moved / permission oddity: count anyway
+            target = path
+        warnings.warn(
+            f"run cache entry {path} is corrupt ({reason}); "
+            f"moved to {target}",
+            stacklevel=3,
+        )
+
     def get(self, key: str) -> Optional[RunResult]:
-        """The stored result for ``key``, or None (counted as a miss)."""
+        """The stored result for ``key``, or None (counted as a miss).
+
+        A missing entry is a plain miss; a *corrupt* one is quarantined
+        (renamed to ``<key>.corrupt``) and counted before the miss is
+        returned, so it can never masquerade as a silent miss twice.
+        """
         path = self.path_for(key)
         try:
-            document = json.loads(path.read_text(encoding="utf-8"))
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            document = json.loads(text)
             if document.get("format") != _FORMAT:
                 raise ValueError("format mismatch")
             if document.get("key") != key:
                 raise ValueError("key mismatch")
             result = result_from_dict(document["result"])
-        except (OSError, ValueError, KeyError, TypeError):
+        except (ValueError, KeyError, TypeError) as exc:
+            self._quarantine(path, key, type(exc).__name__)
             self.misses += 1
             return None
         self.hits += 1

@@ -48,6 +48,7 @@ from repro.obs.telemetry import (
     GridTelemetry,
     TelemetrySpec,
 )
+from repro.resilience.faults import FaultInjector, FaultPlan, InjectingCache
 from repro.resilience.harness import RetryPolicy, guarded_run
 from repro.sim.config import MachineConfig, make_scheme
 from repro.sim.results import RunFailure
@@ -68,6 +69,12 @@ class CellSpec:
     cells).  ``isolate`` selects between crash-tolerant
     :func:`guarded_run` execution and fail-fast propagation, exactly
     mirroring the serial runner's contract.
+
+    ``fault_plan`` (compact :class:`~repro.resilience.faults.FaultPlan`
+    text, e.g. ``"sc_s:2,trace:4"``) wraps the built scheme in an
+    :class:`~repro.resilience.faults.InjectingCache` seeded with the
+    cell seed, so campaign grids can cross fault plans with every other
+    axis; ``None`` (the default) costs nothing.
     """
 
     index: int
@@ -82,6 +89,23 @@ class CellSpec:
     retry: Optional[RetryPolicy] = None
     watchdog_seconds: Optional[float] = None
     metrics_window: Optional[int] = None
+    fault_plan: Optional[str] = None
+
+
+def _build_cell_cache(spec: CellSpec, seed: int):
+    """Build the cell's scheme, wrapping it for fault injection if asked.
+
+    The injector draws its schedule from the same seed as the scheme,
+    so a retry-reseeded attempt gets a genuinely different fault
+    schedule along with its different LFSR stream — one seed is the
+    whole cell's identity.
+    """
+    cache = make_scheme(spec.scheme, spec.geometry, seed=seed)
+    if spec.fault_plan is not None:
+        plan = FaultPlan.parse(spec.fault_plan)
+        injector = FaultInjector(plan, len(spec.trace), seed=seed)
+        cache = InjectingCache(cache, injector)
+    return cache
 
 
 def _execute_cell(
@@ -112,7 +136,7 @@ def _execute_cell(
                     watchdog_seconds=spec.watchdog_seconds,
                 )
             try:
-                cache = make_scheme(spec.scheme, spec.geometry, seed=spec.seed)
+                cache = _build_cell_cache(spec, spec.seed)
                 result = run_trace(
                     cache,
                     spec.trace,
@@ -131,7 +155,7 @@ def _execute_cell(
                 telemetry.cell_end("ok")
             return result
         return guarded_run(
-            lambda seed: make_scheme(spec.scheme, spec.geometry, seed=seed),
+            lambda seed: _build_cell_cache(spec, seed),
             spec.trace,
             scheme=spec.label,
             base_seed=spec.seed,
@@ -174,8 +198,43 @@ def cell_cache_key(spec: CellSpec) -> Optional[str]:
         # the window length is part of the cell's identity.
         "metrics_window": spec.metrics_window,
     }
+    if spec.fault_plan is not None:
+        # Only faulted cells carry the field, so every pre-existing
+        # key (and cached entry) stays valid.
+        payload["fault_plan"] = spec.fault_plan
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class CellObserver:
+    """No-op base for per-cell lifecycle callbacks.
+
+    The campaign layer journals cell execution through these hooks
+    (DESIGN.md §12); subclass and override what you need.  Callbacks
+    run in the **parent** process — :meth:`cell_started` when the cell
+    is handed to a worker (or executed inline), :meth:`cell_finished`
+    when its outcome lands, in completion order — so an observer may
+    keep open file handles without worrying about pickling.  Observers
+    must only *observe*: outcomes are byte-identical with or without
+    one.
+    """
+
+    def cell_started(self, spec: CellSpec) -> None:
+        """``spec`` is about to execute (inline) or was submitted."""
+
+    def cell_finished(
+        self,
+        spec: CellSpec,
+        outcome: CellOutcome,
+        cached: bool,
+        key: Optional[str],
+    ) -> None:
+        """``spec`` produced ``outcome``.
+
+        ``cached`` marks a run-cache hit (the cell never executed);
+        ``key`` is the cell's content-addressed cache key, or None when
+        it has none.
+        """
 
 
 class ParallelRunner:
@@ -205,6 +264,7 @@ class ParallelRunner:
         profiler: Optional[RunProfiler] = None,
         telemetry_dir: Optional[Any] = None,
         status_interval: float = 1.0,
+        observer: Optional[CellObserver] = None,
     ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ConfigError(
@@ -215,6 +275,7 @@ class ParallelRunner:
         self.profiler = profiler
         self.telemetry_dir = telemetry_dir
         self.status_interval = status_interval
+        self.observer = observer
 
     def run(self, specs: Sequence[CellSpec]) -> List[CellOutcome]:
         """Execute every cell; returns outcomes in ``specs`` order."""
@@ -249,8 +310,13 @@ class ParallelRunner:
         results: List[Optional[CellOutcome]] = [None] * len(specs)
         pending: List[tuple] = []
         run_cache = self.run_cache
+        observer = self.observer
         hits_before = run_cache.hits if run_cache is not None else 0
         misses_before = run_cache.misses if run_cache is not None else 0
+        corrupt_before = (
+            getattr(run_cache, "corrupt_entries", 0)
+            if run_cache is not None else 0
+        )
         telemetry_spec = grid.spec if grid is not None else None
         last_status = perf_counter()
         for position, spec in enumerate(specs):
@@ -262,6 +328,8 @@ class ParallelRunner:
                     results[position] = cached
                     if grid is not None:
                         grid.cell_cached(spec.index)
+                    if observer is not None:
+                        observer.cell_finished(spec, cached, True, key)
                     continue
             pending.append((position, spec, key))
 
@@ -278,24 +346,34 @@ class ParallelRunner:
                 last_status = now
                 self._write_status(grid)
 
+        def note_finished(
+            spec: CellSpec, outcome: CellOutcome, key: Optional[str]
+        ) -> None:
+            if observer is not None:
+                observer.cell_finished(spec, outcome, False, key)
+            note_done(spec, outcome)
+
         workers = self.max_workers
         if workers is None or workers <= 1 or len(pending) <= 1:
             for position, spec, key in pending:
+                if observer is not None:
+                    observer.cell_started(spec)
                 outcome = _execute_cell(spec, telemetry_spec)
                 results[position] = self._store(spec, key, outcome)
-                note_done(spec, outcome)
+                note_finished(spec, outcome, key)
         else:
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {
-                    pool.submit(_execute_cell, spec, telemetry_spec):
-                        (position, spec, key)
-                    for position, spec, key in pending
-                }
+                futures = {}
+                for position, spec, key in pending:
+                    if observer is not None:
+                        observer.cell_started(spec)
+                    future = pool.submit(_execute_cell, spec, telemetry_spec)
+                    futures[future] = (position, spec, key)
                 for future in as_completed(futures):
                     position, spec, key = futures[future]
                     outcome = future.result()
                     results[position] = self._store(spec, key, outcome)
-                    note_done(spec, outcome)
+                    note_finished(spec, outcome, key)
         if self.profiler is not None:
             # Profiler records are merged here, in canonical cell order,
             # from the timing payloads the workers returned — never by
@@ -307,6 +385,8 @@ class ParallelRunner:
                 self.profiler.note_run_cache(
                     run_cache.hits - hits_before,
                     run_cache.misses - misses_before,
+                    getattr(run_cache, "corrupt_entries", 0)
+                    - corrupt_before,
                 )
         return list(results)
 

@@ -1,5 +1,10 @@
 """Workloads: traces, synthetic streams and SPEC-like benchmark models."""
 
+from repro.workloads.benchmark_sets import (
+    BENCHMARK_SETS,
+    benchmark_set_names,
+    resolve_benchmarks,
+)
 from repro.workloads.generators import SetGroupSpec, WorkloadSpec, generate_trace
 from repro.workloads.mixes import concatenate_traces, phased_trace
 from repro.workloads.patterns import (
@@ -27,7 +32,10 @@ from repro.workloads.trace import Trace, TraceMetadata
 
 __all__ = [
     "BENCHMARKS",
+    "BENCHMARK_SETS",
     "BenchmarkSpec",
+    "benchmark_set_names",
+    "resolve_benchmarks",
     "FIGURE2_WORKING_SETS",
     "SetGroupSpec",
     "Trace",

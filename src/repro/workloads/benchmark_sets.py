@@ -1,0 +1,83 @@
+"""Named benchmark sets with SPEC-style set algebra.
+
+Campaign specs (and anything else that wants "run the integer
+benchmarks") name their workloads through this registry instead of
+spelling out lists: a selection is a sequence of *tokens*, each either
+a set name (``int``, ``fp``, ``all``, ``class_i`` ...) or an individual
+benchmark name, and :func:`resolve_benchmarks` expands it the way the
+SPEC harnesses do — multiple sets and individual benchmarks may be
+mixed freely, duplicates are removed, and the result is sorted, so the
+same selection always yields the same ordered workload list no matter
+how it was written.
+
+The ``int``/``fp`` split follows the SPEC CPU 2000/2006 suites the
+paper's 15 workloads were drawn from; the ``class_*`` sets mirror the
+paper's Figure 6 capacity-demand classification (already encoded in
+:mod:`repro.workloads.spec_like`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.common.errors import ConfigError
+from repro.workloads.spec_like import benchmark_names
+
+#: SPEC integer-suite members among the paper's 15 workloads.
+_INT = ("astar", "gobmk", "mcf", "omnetpp", "twolf", "vpr", "xalancbmk")
+
+#: SPEC floating-point-suite members among the paper's 15 workloads.
+_FP = (
+    "ammp", "apsi", "art", "cactusADM", "galgel", "gromacs", "soplex",
+    "sphinx3",
+)
+
+
+def _sorted(names: Sequence[str]) -> Tuple[str, ...]:
+    return tuple(sorted(names))
+
+
+#: Every named set, each stored sorted.  ``class_i``/``class_ii``/
+#: ``class_iii`` are the paper's capacity-demand classes.
+BENCHMARK_SETS: Dict[str, Tuple[str, ...]] = {
+    "all": _sorted(benchmark_names()),
+    "int": _sorted(_INT),
+    "fp": _sorted(_FP),
+    "class_i": _sorted(benchmark_names("I")),
+    "class_ii": _sorted(benchmark_names("II")),
+    "class_iii": _sorted(benchmark_names("III")),
+}
+
+
+def benchmark_set_names() -> List[str]:
+    """The registered set names, sorted."""
+    return sorted(BENCHMARK_SETS)
+
+
+def resolve_benchmarks(tokens: Sequence[str]) -> List[str]:
+    """Expand set names and benchmark names into one sorted list.
+
+    Each token is either a registered set name or an individual
+    benchmark; duplicates (a benchmark named directly *and* through a
+    set, or two overlapping sets) are removed and the final list is
+    sorted — the SPEC target idiom.  An unknown token raises
+    :class:`~repro.common.errors.ConfigError` naming the token and the
+    accepted vocabulary.
+    """
+    if not tokens:
+        raise ConfigError("benchmark selection is empty")
+    known = set(benchmark_names())
+    selected: set = set()
+    for token in tokens:
+        names = BENCHMARK_SETS.get(token)
+        if names is not None:
+            selected.update(names)
+        elif token in known:
+            selected.add(token)
+        else:
+            raise ConfigError(
+                f"unknown benchmark or set {token!r}; "
+                f"sets: {', '.join(benchmark_set_names())}; "
+                f"benchmarks: {', '.join(benchmark_names())}"
+            )
+    return sorted(selected)

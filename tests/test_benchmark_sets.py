@@ -1,0 +1,73 @@
+"""Tests for the named benchmark-set registry and its set algebra."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.workloads.benchmark_sets import (
+    BENCHMARK_SETS,
+    benchmark_set_names,
+    resolve_benchmarks,
+)
+from repro.workloads.spec_like import benchmark_names
+
+
+class TestRegistry:
+    def test_all_set_covers_every_benchmark(self):
+        assert BENCHMARK_SETS["all"] == tuple(sorted(benchmark_names()))
+
+    def test_int_fp_partition_the_suite(self):
+        int_set = set(BENCHMARK_SETS["int"])
+        fp_set = set(BENCHMARK_SETS["fp"])
+        assert not int_set & fp_set
+        assert int_set | fp_set == set(BENCHMARK_SETS["all"])
+
+    def test_class_sets_partition_the_suite(self):
+        classes = [
+            set(BENCHMARK_SETS[name])
+            for name in ("class_i", "class_ii", "class_iii")
+        ]
+        union = set().union(*classes)
+        assert union == set(BENCHMARK_SETS["all"])
+        assert sum(len(one) for one in classes) == len(union)
+
+    def test_every_set_is_sorted(self):
+        for names in BENCHMARK_SETS.values():
+            assert list(names) == sorted(names)
+
+    def test_set_names_sorted(self):
+        names = benchmark_set_names()
+        assert names == sorted(names)
+        assert "int" in names and "fp" in names and "all" in names
+
+
+class TestResolve:
+    def test_single_set(self):
+        assert resolve_benchmarks(["int"]) == list(BENCHMARK_SETS["int"])
+
+    def test_individual_benchmarks(self):
+        assert resolve_benchmarks(["mcf", "art"]) == ["art", "mcf"]
+
+    def test_mixing_sets_and_names_dedups(self):
+        # mcf is already in the int set: naming it again adds nothing.
+        assert resolve_benchmarks(["int", "mcf"]) == list(
+            BENCHMARK_SETS["int"]
+        )
+
+    def test_overlapping_sets_dedup(self):
+        both = resolve_benchmarks(["int", "fp"])
+        assert both == list(BENCHMARK_SETS["all"])
+
+    def test_order_of_tokens_is_irrelevant(self):
+        assert resolve_benchmarks(["fp", "mcf"]) == resolve_benchmarks(
+            ["mcf", "fp"]
+        )
+
+    def test_unknown_token_names_token_and_vocabulary(self):
+        with pytest.raises(ConfigError, match="integer"):
+            resolve_benchmarks(["integer"])
+        with pytest.raises(ConfigError, match="sets:"):
+            resolve_benchmarks(["nope"])
+
+    def test_empty_selection_rejected(self):
+        with pytest.raises(ConfigError, match="empty"):
+            resolve_benchmarks([])
