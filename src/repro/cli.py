@@ -78,6 +78,7 @@ from repro.resilience.campaign import run_fault_campaign
 from repro.resilience.faults import FAULT_TARGETS
 from repro.sim.cache import RunCache, load_run, save_run
 from repro.sim.campaign import campaign_status, run_campaign
+from repro.sim.columnar import BACKENDS
 from repro.sim.config import ExperimentScale, available_schemes, make_scheme
 from repro.sim.results import format_series, format_table
 from repro.sim.runner import associativity_sweep, run_benchmarks
@@ -109,6 +110,15 @@ def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
                         help="associativity (default 16)")
     parser.add_argument("--length", type=int, default=300_000,
                         help="trace length in accesses (default 300000)")
+
+
+def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend", choices=list(BACKENDS), default="auto",
+        help="simulation backend: the scalar oracle ('python'), the "
+             "columnar numpy kernel ('numpy'), or pick automatically "
+             "('auto', the default); results are identical either way"
+    )
 
 
 def _add_profile_arguments(parser: argparse.ArgumentParser) -> None:
@@ -150,6 +160,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         cache, trace,
         warmup_fraction=scale.warmup_fraction,
         metrics_window=args.window,
+        backend=args.backend,
     )
     print(f"{result.scheme} on {result.trace_name}: "
           f"MPKI={result.mpki:.3f}  AMAT={result.amat:.2f}  "
@@ -221,6 +232,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         max_workers=args.jobs,
         run_cache=run_cache,
         telemetry_dir=args.telemetry,
+        backend=args.backend,
     )
     table = matrix.metric_table(lambda result: result.mpki)
     print(format_table(table, matrix.schemes, title="MPKI"))
@@ -522,6 +534,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="export Prometheus-style text metrics (needs --window)"
     )
     _add_scale_arguments(run_parser)
+    _add_backend_argument(run_parser)
     _add_profile_arguments(run_parser)
     run_parser.set_defaults(handler=_cmd_run)
 
@@ -577,6 +590,7 @@ def build_parser() -> argparse.ArgumentParser:
              "(default BENCH_HISTORY.jsonl)"
     )
     _add_scale_arguments(bench_parser)
+    _add_backend_argument(bench_parser)
     _add_profile_arguments(bench_parser)
     bench_parser.set_defaults(handler=_cmd_bench)
 

@@ -65,6 +65,7 @@ def guarded_run(
     machine: Optional[MachineConfig] = None,
     metrics_window: Optional[int] = None,
     telemetry=None,
+    backend: Optional[str] = None,
 ) -> Union[RunResult, RunFailure]:
     """Run one (scheme, trace) cell with isolation.
 
@@ -81,6 +82,12 @@ def guarded_run(
     heartbeats from inside the simulation loop, and the final verdict —
     so a parent aggregator can tell a slow cell from a stalled worker
     before the watchdog deadline converts it into a RunFailure.
+
+    ``backend`` is forwarded to :func:`run_trace` on the first attempt
+    only; retries force the scalar oracle so a hypothetical columnar
+    defect can never burn the whole retry budget on the same kernel.
+    (The exactness contract makes the paths interchangeable, so the
+    downgrade is invisible in results.)
     """
     retry = retry if retry is not None else DEFAULT_RETRY
     seeds = retry.seeds(base_seed)
@@ -104,6 +111,7 @@ def guarded_run(
                 deadline_seconds=watchdog_seconds,
                 metrics_window=metrics_window,
                 telemetry=telemetry,
+                backend=backend if attempt == 1 else "python",
             )
             if telemetry is not None:
                 telemetry.cell_end("ok")

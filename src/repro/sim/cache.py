@@ -38,7 +38,15 @@ _FORMAT = 2
 
 
 def result_to_dict(result: RunResult) -> Dict[str, Any]:
-    """Flatten a :class:`RunResult` (and nested dataclasses) to JSON."""
+    """Flatten a :class:`RunResult` (and nested dataclasses) to JSON.
+
+    ``result.backend`` is deliberately not serialised: the columnar
+    exactness contract (DESIGN.md §13) makes backends result-identical,
+    so recording one would only split run-cache keys, campaign journal
+    ``result_digest`` values and saved-run bytes across paths that
+    produced the same result.  Round-tripped results report the default
+    ``"python"`` — execution provenance is in-process information.
+    """
     return {
         "scheme": result.scheme,
         "trace_name": result.trace_name,

@@ -65,6 +65,7 @@ from repro.obs.profile import RunProfiler
 from repro.resilience.faults import FaultPlan
 from repro.resilience.harness import RetryPolicy
 from repro.sim.cache import RunCache, result_to_dict
+from repro.sim.columnar import BACKENDS
 from repro.sim.config import canonical_scheme_name
 from repro.sim.parallel import (
     CellObserver,
@@ -88,7 +89,7 @@ JOURNAL_FORMAT = 1
 _SPEC_KEYS = frozenset({
     "name", "schemes", "benchmarks", "geometries", "seeds",
     "fault_plans", "trace_length", "warmup_fraction", "metrics_window",
-    "retry", "watchdog_seconds",
+    "retry", "watchdog_seconds", "backend",
 })
 
 _RETRY_KEYS = frozenset({"max_attempts", "reseed_step"})
@@ -166,6 +167,7 @@ class CampaignSpec:
     metrics_window: Optional[int]
     retry: Optional[RetryPolicy]
     watchdog_seconds: Optional[float]
+    backend: Optional[str] = None
 
     def total_cells(self) -> int:
         return (
@@ -195,6 +197,11 @@ class CampaignSpec:
             ),
             "watchdog_seconds": self.watchdog_seconds,
         }
+        if self.backend is not None:
+            # Only specs that name a backend carry the key, so every
+            # pre-existing journal digest keeps resuming.  (The backend
+            # cannot change results — the digest guards *intent*.)
+            payload["backend"] = self.backend
         canonical = json.dumps(payload, sort_keys=True,
                                separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
@@ -330,6 +337,18 @@ def _parse_fault_plans(
     return tuple(plans)
 
 
+def _parse_backend(
+    source: str, document: Dict[str, Any]
+) -> Optional[str]:
+    raw = document.get("backend")
+    if raw is None:
+        return None
+    if not isinstance(raw, str) or raw not in BACKENDS:
+        raise _fail(source, "backend",
+                    f"expected one of {', '.join(BACKENDS)}, got {raw!r}")
+    return raw
+
+
 def _parse_retry(
     source: str, document: Dict[str, Any]
 ) -> Optional[RetryPolicy]:
@@ -441,6 +460,7 @@ def load_campaign_spec(path: Union[str, Path]) -> CampaignSpec:
         metrics_window=metrics_window,
         retry=_parse_retry(source, document),
         watchdog_seconds=watchdog_seconds,
+        backend=_parse_backend(source, document),
     )
 
 
@@ -507,6 +527,7 @@ def build_cells(spec: CampaignSpec) -> List[CampaignCell]:
                                 watchdog_seconds=spec.watchdog_seconds,
                                 metrics_window=spec.metrics_window,
                                 fault_plan=plan,
+                                backend=spec.backend,
                             ),
                         ))
                         index += 1

@@ -75,6 +75,12 @@ class CellSpec:
     :class:`~repro.resilience.faults.InjectingCache` seeded with the
     cell seed, so campaign grids can cross fault plans with every other
     axis; ``None`` (the default) costs nothing.
+
+    ``backend`` picks the execution path (``"auto"``/``"python"``/
+    ``"numpy"``, see :mod:`repro.sim.columnar`).  It is deliberately
+    *not* part of :func:`cell_cache_key`: the exactness contract makes
+    backends interchangeable, so a cached scalar result satisfies a
+    numpy request and vice versa.
     """
 
     index: int
@@ -90,6 +96,7 @@ class CellSpec:
     watchdog_seconds: Optional[float] = None
     metrics_window: Optional[int] = None
     fault_plan: Optional[str] = None
+    backend: Optional[str] = None
 
 
 def _build_cell_cache(spec: CellSpec, seed: int):
@@ -144,6 +151,7 @@ def _execute_cell(
                     machine=spec.machine,
                     metrics_window=spec.metrics_window,
                     telemetry=telemetry,
+                    backend=spec.backend,
                 )
             except BaseException as exc:
                 if telemetry is not None:
@@ -165,6 +173,7 @@ def _execute_cell(
             machine=spec.machine,
             metrics_window=spec.metrics_window,
             telemetry=telemetry,
+            backend=spec.backend,
         )
     finally:
         if telemetry is not None:

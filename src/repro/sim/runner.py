@@ -51,6 +51,7 @@ def run_matrix(
     run_cache=None,
     metrics_window: Optional[int] = None,
     telemetry_dir=None,
+    backend: Optional[str] = None,
 ) -> ResultMatrix:
     """Run every scheme on every trace at one geometry.
 
@@ -65,6 +66,10 @@ def run_matrix(
     arms the live fleet-telemetry channel over that directory — spans,
     heartbeats, ``status.json`` — without changing any outcome (see
     :class:`~repro.sim.parallel.ParallelRunner`).
+
+    ``backend`` selects the per-cell execution path (``"auto"`` /
+    ``"python"`` / ``"numpy"``); the columnar path's exactness contract
+    means it, too, never changes any outcome (DESIGN.md §13).
     """
     scale = scale if scale is not None else ExperimentScale.default()
     geometry = scale.geometry()
@@ -84,6 +89,7 @@ def run_matrix(
                 retry=retry,
                 watchdog_seconds=watchdog_seconds,
                 metrics_window=metrics_window,
+                backend=backend,
             ))
     runner = ParallelRunner(
         max_workers=max_workers, run_cache=run_cache, profiler=profiler,
@@ -111,6 +117,7 @@ def run_benchmarks(
     run_cache=None,
     metrics_window: Optional[int] = None,
     telemetry_dir=None,
+    backend: Optional[str] = None,
 ) -> ResultMatrix:
     """Run the (selected) SPEC-like benchmarks through every scheme."""
     scale = scale if scale is not None else ExperimentScale.default()
@@ -128,7 +135,7 @@ def run_benchmarks(
                       watchdog_seconds=watchdog_seconds,
                       max_workers=max_workers, run_cache=run_cache,
                       metrics_window=metrics_window,
-                      telemetry_dir=telemetry_dir)
+                      telemetry_dir=telemetry_dir, backend=backend)
 
 
 def associativity_sweep(
@@ -145,6 +152,7 @@ def associativity_sweep(
     run_cache=None,
     metrics_window: Optional[int] = None,
     telemetry_dir=None,
+    backend: Optional[str] = None,
 ) -> Dict[str, List[RunResult]]:
     """MPKI-vs-associativity curves (Figures 3 and 10).
 
@@ -177,6 +185,7 @@ def associativity_sweep(
                 retry=retry,
                 watchdog_seconds=watchdog_seconds,
                 metrics_window=metrics_window,
+                backend=backend,
             ))
             spec_scheme.append(scheme_name)
     runner = ParallelRunner(

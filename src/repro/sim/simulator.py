@@ -25,6 +25,12 @@ from repro.common.errors import ConfigError, WatchdogTimeout
 from repro.common.stats import CacheStats
 from repro.obs.manifest import RunManifest, build_manifest
 from repro.obs.metrics import MetricsRegistry, MetricsSeries
+from repro.sim.columnar import (
+    BACKEND_NUMPY,
+    BACKEND_PYTHON,
+    make_engine,
+    resolve_backend,
+)
 from repro.sim.config import MachineConfig
 from repro.workloads.trace import Trace
 
@@ -36,6 +42,12 @@ class RunResult:
     ``series`` carries the windowed metric time-series when the run was
     made with ``metrics_window=N``; it is None (and costs nothing) by
     default.
+
+    ``backend`` records which execution path actually ran ("python" or
+    "numpy").  It is in-process provenance only: the exactness contract
+    (DESIGN.md §13) makes the two paths produce identical results, so
+    the field is deliberately excluded from ``result_to_dict`` /
+    ``save_run`` payloads and every derived digest.
     """
 
     scheme: str
@@ -46,6 +58,7 @@ class RunResult:
     metrics: MetricSet
     manifest: Optional[RunManifest] = None
     series: Optional[MetricsSeries] = None
+    backend: str = BACKEND_PYTHON
 
     @property
     def mpki(self) -> float:
@@ -136,6 +149,7 @@ def run_trace(
     deadline_seconds: Optional[float] = None,
     metrics_window: Optional[int] = None,
     telemetry=None,
+    backend: Optional[str] = None,
 ) -> RunResult:
     """Simulate ``trace`` on ``cache`` and evaluate the paper metrics.
 
@@ -164,6 +178,15 @@ def run_trace(
     Telemetry only *observes* — it never touches scheme state, RNG
     draws or statistics, so results are byte-identical with it on or
     off (DESIGN.md §11).
+
+    ``backend`` selects the execution path: ``"python"`` (the scalar
+    oracle), ``"numpy"`` (the columnar kernel of
+    :mod:`repro.sim.columnar`), or ``"auto"``/``None`` which picks
+    numpy exactly when it is importable and the scheme has an exact
+    kernel.  The columnar path is bound by an exactness contract —
+    identical stats, manifest hashes, metric series and RNG stream —
+    so the choice never changes results, only wall-clock time
+    (DESIGN.md §13).  Schemes without a kernel run scalar regardless.
     """
     if not 0.0 <= warmup_fraction < 1.0:
         raise ConfigError(
@@ -189,16 +212,33 @@ def run_trace(
     else:
         set_indices = tags = None
     writes = trace.writes if with_writes else None
+    # Backend resolution and plan construction sit outside the timed
+    # phases for the same reason as the geometry precompute: the plan
+    # is a cached, static derivation, not simulation work.
+    resolved_backend = resolve_backend(backend, cache)
+    engine = None
+    if resolved_backend == BACKEND_NUMPY:
+        engine = make_engine(cache, trace, writes)
+        if engine is None:
+            resolved_backend = BACKEND_PYTHON
     beat = telemetry.beat if telemetry is not None else None
     phase_start = perf_counter()
     deadline_at = (
         phase_start + deadline_seconds if deadline_seconds is not None
         else None
     )
+
+    if engine is not None:
+        def drive(start: int, stop: int) -> None:
+            engine.span(start, stop, deadline_at, beat)
+    else:
+        def drive(start: int, stop: int) -> None:
+            _run_span(access, batch, addresses, set_indices, tags, writes,
+                      start, stop, deadline_at, trace.name, beat)
+
     if telemetry is not None:
         telemetry.phase_start("warmup", 0)
-    _run_span(access, batch, addresses, set_indices, tags, writes,
-              0, warm, deadline_at, trace.name, beat)
+    drive(0, warm)
     warmup_seconds = perf_counter() - phase_start
     cache.reset_stats()
     scheme = getattr(cache, "name", type(cache).__name__)
@@ -208,20 +248,33 @@ def run_trace(
         telemetry.phase_start("measured", warm)
     phase_start = perf_counter()
     if metrics_window is None:
-        _run_span(access, batch, addresses, set_indices, tags, writes,
-                  warm, total, deadline_at, trace.name, beat)
+        drive(warm, total)
     else:
         # Windowed measurement: the registry samples counters/gauges at
         # every boundary.  The registry constructor validates the window.
+        # The columnar engine substitutes a gauge source carrying the
+        # same stats object plus statically derived occupancy views, so
+        # the registry's own sampling code runs unmodified and the
+        # series stays byte-identical.
         registry = MetricsRegistry(window_length=metrics_window)
         position = warm
         while position < total:
             stop = min(position + metrics_window, total)
-            _run_span(access, batch, addresses, set_indices, tags, writes,
-                      position, stop, deadline_at, trace.name, beat)
-            registry.sample(cache, stop - position)
+            drive(position, stop)
+            registry.sample(
+                cache if engine is None else engine.sample_target(stop),
+                stop - position,
+            )
             position = stop
     measured_seconds = perf_counter() - phase_start
+    if engine is not None:
+        # The engine replays the whole trace inside the first span, so
+        # the raw phase clocks pile onto warm-up.  Prorate the combined
+        # wall time by access share so manifest timings keep meaning
+        # throughput (content hashes never cover timings).
+        engine_seconds = warmup_seconds + measured_seconds
+        warmup_seconds = engine_seconds * (warm / total)
+        measured_seconds = engine_seconds - warmup_seconds
     if telemetry is not None:
         telemetry.phase_end("measured", total)
     measured = total - warm
@@ -255,4 +308,5 @@ def run_trace(
             registry.to_series(scheme, trace.name)
             if registry is not None else None
         ),
+        backend=resolved_backend,
     )
