@@ -40,12 +40,15 @@ from repro.cache import (
 from repro.core import StemCache, StemConfig
 from repro.obs import (
     JsonlSink,
+    LedgerSink,
     NULL_TRACER,
     RingBufferSink,
+    RunLedger,
     RunManifest,
     RunProfiler,
     TraceEvent,
     Tracer,
+    attribute,
     build_manifest,
     load_events,
     summarize_events,
@@ -78,11 +81,13 @@ __all__ = [
     "ExperimentScale",
     "FaultPlan",
     "JsonlSink",
+    "LedgerSink",
     "MainMemory",
     "NULL_TRACER",
     "PAPER_SCHEMES",
     "RetryPolicy",
     "RingBufferSink",
+    "RunLedger",
     "RunManifest",
     "RunProfiler",
     "SbcCache",
@@ -93,6 +98,7 @@ __all__ = [
     "TraceEvent",
     "Tracer",
     "VwayCache",
+    "attribute",
     "available_policies",
     "available_schemes",
     "benchmark_names",

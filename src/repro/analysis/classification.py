@@ -63,6 +63,64 @@ class WorkloadClassification:
         return "III"
 
 
+@dataclass(frozen=True)
+class GainClassification:
+    """Observed-gain view of the Figure 6 taxonomy.
+
+    Where :func:`classify_trace` predicts a workload's class from its
+    access pattern *before* running anything, this classifies what a
+    finished pair of runs actually showed: the spatial and temporal
+    components :func:`repro.obs.explain.attribute` measured.  The same
+    label vocabulary lets the prediction and the measurement be
+    compared directly.
+    """
+
+    spatial_component: int
+    temporal_component: int
+    total_delta: int
+    spatially_improved: bool
+    temporally_improved: bool
+
+    @property
+    def label(self) -> str:
+        """'I', 'II', 'I+II' or 'III' following Figure 6."""
+        if self.spatially_improved and self.temporally_improved:
+            return "I+II"
+        if self.spatially_improved:
+            return "I"
+        if self.temporally_improved:
+            return "II"
+        return "III"
+
+
+def classify_gains(
+    spatial_component: int,
+    temporal_component: int,
+    total_delta: int,
+    significance: float = 0.05,
+) -> GainClassification:
+    """Map an explain decomposition onto the Figure 6 vocabulary.
+
+    A dimension counts as improved when its component is positive and
+    at least ``significance`` of the larger of the total hit delta and
+    the summed components — so a run whose entire (small) gain is
+    spatial still reads as Class I, while a trace-level rounding worth
+    of cooperative hits under a large total does not.
+    """
+    scale = max(
+        abs(total_delta),
+        abs(spatial_component) + abs(temporal_component),
+        1,
+    )
+    return GainClassification(
+        spatial_component=spatial_component,
+        temporal_component=temporal_component,
+        total_delta=total_delta,
+        spatially_improved=spatial_component / scale >= significance,
+        temporally_improved=temporal_component / scale >= significance,
+    )
+
+
 def classify_trace(
     trace: Trace,
     num_sets: int,

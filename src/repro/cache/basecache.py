@@ -79,6 +79,9 @@ class SetAssociativeCache:
         self._free_ways: List[List[int]] = [
             list(range(assoc - 1, -1, -1)) for _ in range(num_sets)
         ]
+        # Ledger attribution counter (tracer-guarded, reset with the
+        # stats; underscore-prefixed so the manifest hash ignores it).
+        self._led_hits: List[int] = [0] * num_sets
 
     @property
     def name(self) -> str:
@@ -99,6 +102,8 @@ class SetAssociativeCache:
         if way is not None:
             stats.hits += 1
             stats.local_hits += 1
+            if self.tracer.enabled:
+                self._led_hits[set_index] += 1
             if is_write:
                 self._dirty[set_index][way] = True
             self.policy.on_hit(set_index, way)
@@ -338,6 +343,16 @@ class SetAssociativeCache:
             "occupancy": [len(table) for table in self._tag_to_way]
         }
 
+    def ledger_counters(self) -> dict:
+        """Per-set attribution counters for the capacity-flow ledger.
+
+        Tracer-guarded and window-aligned; a policy cache neither
+        borrows capacity nor swaps policies, so only the plain per-set
+        hit row exists and both explain components are structurally
+        zero for it.
+        """
+        return {"hits": list(self._led_hits)}
+
     def reset_stats(self) -> None:
         """Zero the statistics (e.g. after a warm-up phase).
 
@@ -346,6 +361,7 @@ class SetAssociativeCache:
         """
         self._access_base += self.stats.accesses
         self.stats = CacheStats()
+        self._led_hits = [0] * self.geometry.num_sets
 
     def check_invariants(self) -> None:
         """Raise :class:`InvariantViolation` on internal inconsistency.

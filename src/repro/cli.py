@@ -20,7 +20,11 @@ Commands
              (``--once`` for a single snapshot + ``status.json``)
 ``diff``     compare two runs — saved run files or scheme names run
              in-process — as a byte-stable delta report
-``trace``    run one scheme with event tracing (JSONL log + aggregates)
+``explain``  attribute the hit delta between two runs to STEM's
+             spatial/temporal decisions (``--json``; ``--out`` renders
+             the self-contained HTML attribution page)
+``trace``    run one scheme with event tracing (JSONL log + aggregates;
+             ``--kinds`` narrows the persisted log to named event kinds)
 ``sweep``    MPKI vs associativity for chosen schemes
 ``faults``   deterministic fault-injection campaign + degradation report
 ``profile``  Figure 1-style capacity-demand profile + classification
@@ -68,10 +72,16 @@ from repro.common.errors import ReproError
 from repro.common.io import atomic_write_text
 from repro.obs.benchhistory import load_history, render_history
 from repro.obs.diff import diff_results
+from repro.obs.events import EVENT_TYPES
+from repro.obs.explain import attribute
 from repro.obs.fleet import load_fleet, render_top, write_status
-from repro.obs.htmlreport import diff_to_html, render_run_html
+from repro.obs.htmlreport import (
+    diff_to_html,
+    explain_to_html,
+    render_run_html,
+)
 from repro.obs.profile import PhaseTimer, RunProfiler
-from repro.obs.sinks import JsonlSink, RingBufferSink
+from repro.obs.sinks import FilteredSink, JsonlSink, RingBufferSink
 from repro.obs.tracer import Tracer
 from repro.obs.inspect import summarize_events
 from repro.resilience.campaign import run_fault_campaign
@@ -161,10 +171,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
         warmup_fraction=scale.warmup_fraction,
         metrics_window=args.window,
         backend=args.backend,
+        ledger=args.ledger,
     )
     print(f"{result.scheme} on {result.trace_name}: "
           f"MPKI={result.mpki:.3f}  AMAT={result.amat:.2f}  "
           f"CPI={result.cpi:.3f}  miss_rate={result.miss_rate:.3f}")
+    if result.ledger is not None:
+        summary = result.ledger.summary()
+        print(f"ledger: {summary['coupling_episodes']} coupling "
+              f"episode(s), {summary['policy_swaps']} policy swap(s), "
+              f"{summary['lent']} way-accesses lent "
+              f"({summary['spill_events']} spills, "
+              f"{summary['coop_hit_events']} cooperative hits)")
     if result.series is not None:
         print(f"metrics: {result.series.num_windows} windows of "
               f"{result.series.window_length} accesses, "
@@ -317,17 +335,40 @@ def _cmd_top(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_kinds(raw: Optional[str]) -> Optional[frozenset]:
+    """Validate a ``--kinds`` CSV against the registered event kinds."""
+    if raw is None:
+        return None
+    kinds = frozenset(
+        token.strip() for token in raw.split(",") if token.strip()
+    )
+    unknown = sorted(kinds - set(EVENT_TYPES))
+    if unknown:
+        raise ReproError(
+            f"unknown event kind(s) {', '.join(unknown)}; "
+            f"known: {', '.join(sorted(EVENT_TYPES))}"
+        )
+    if not kinds:
+        raise ReproError("--kinds needs at least one event kind")
+    return kinds
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     scale = _scale_from(args)
+    kinds = _parse_kinds(args.kinds)
     trace = make_benchmark_trace(
         args.benchmark, num_sets=scale.num_sets, length=scale.trace_length
     )
     ring = RingBufferSink(capacity=args.buffer)
-    tracer = Tracer(ring)
+    # The filter sits between tracer and sinks: emission (and the
+    # cache's clocks/stats) is untouched, only what is kept narrows.
+    tracer = Tracer(FilteredSink(ring, kinds) if kinds else ring)
     jsonl: Optional[JsonlSink] = None
     if args.events:
         jsonl = JsonlSink(args.events)
-        tracer.add_sink(jsonl)
+        tracer.add_sink(
+            FilteredSink(jsonl, kinds) if kinds else jsonl
+        )
     cache = make_scheme(args.scheme, scale.geometry(), tracer=tracer)
     # No warm-up discard: the event log should keep a monotonic access
     # clock (reset_stats would rewind it mid-stream).
@@ -338,6 +379,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
           f"CPI={result.cpi:.3f}  miss_rate={result.miss_rate:.3f}")
     print(f"{tracer.events_emitted} events emitted "
           f"({ring.dropped} beyond the ring buffer)")
+    if kinds:
+        print(f"kinds filter: {', '.join(sorted(kinds))} "
+              f"({ring.total_recorded} kept)")
     print(summarize_events(ring.events))
     if jsonl is not None:
         print(f"wrote {jsonl.total_recorded} events to {jsonl.path}")
@@ -460,6 +504,48 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     return 0
 
 
+def _ledgered_run(scheme: str, benchmark: str, scale):
+    """One in-process run with the capacity-flow ledger attached."""
+    trace = make_benchmark_trace(
+        benchmark, num_sets=scale.num_sets, length=scale.trace_length
+    )
+    cache = make_scheme(scheme, scale.geometry())
+    return run_trace(
+        cache, trace,
+        warmup_fraction=scale.warmup_fraction,
+        ledger=True,
+    )
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    scale = _scale_from(args)
+
+    def resolve(operand: str):
+        # Same operand contract as 'repro diff': a saved-run path wins,
+        # anything else runs in-process (with a ledger, so the temporal
+        # component and per-set rows are available).
+        if Path(operand).is_file():
+            return load_run(operand)
+        return _ledgered_run(operand, args.benchmark, scale)
+
+    attribution = attribute(resolve(args.a), resolve(args.b))
+    rendered = attribution.render(top_k=args.top_k)
+    if args.json:
+        atomic_write_text(
+            Path(args.json),
+            json.dumps(
+                attribution.as_dict(), indent=2, sort_keys=True
+            ) + "\n",
+        )
+        print(f"wrote explain JSON to {args.json}")
+    if args.out:
+        atomic_write_text(Path(args.out), explain_to_html(attribution))
+        print(f"wrote explain HTML to {args.out}")
+    else:
+        print(rendered, end="")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     scale = _scale_from(args)
     if not args.out:
@@ -524,6 +610,11 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--save-run", metavar="PATH", default=None,
         help="save the full run (stats, metrics, series) as JSON"
+    )
+    run_parser.add_argument(
+        "--ledger", action="store_true",
+        help="seal a capacity-flow ledger into the run (rides along in "
+             "--save-run files; input to 'repro explain')"
     )
     run_parser.add_argument(
         "--series-jsonl", metavar="PATH", default=None,
@@ -716,6 +807,42 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scale_arguments(diff_parser)
     diff_parser.set_defaults(handler=_cmd_diff)
 
+    explain_parser = commands.add_parser(
+        "explain",
+        help="attribute a hit delta to spatial/temporal decisions",
+        description=(
+            "Decompose the hit delta between two runs into the paper's "
+            "Figure 6 components: spatial (cooperative hits in "
+            "borrowed space), temporal (hits under a swapped insertion "
+            "policy) and residual — summing exactly to the total, "
+            "globally and per set.  Operands follow 'repro diff': a "
+            "saved run file (ideally from 'repro run --ledger "
+            "--save-run') or a scheme name run in-process with a "
+            "ledger.  Output is byte-stable."
+        ),
+    )
+    explain_parser.add_argument("a", help="run file or scheme name (A)")
+    explain_parser.add_argument("b", help="run file or scheme name (B)")
+    explain_parser.add_argument(
+        "--benchmark", default="mcf", choices=benchmark_names(),
+        help="benchmark for scheme-name operands (default mcf)"
+    )
+    explain_parser.add_argument(
+        "--top-k", type=int, default=8, metavar="K",
+        help="diverging sets to list in the text report (default 8)"
+    )
+    explain_parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write the structured attribution as JSON to PATH"
+    )
+    explain_parser.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="write the self-contained HTML attribution page to PATH "
+             "instead of printing the text report"
+    )
+    _add_scale_arguments(explain_parser)
+    explain_parser.set_defaults(handler=_cmd_explain)
+
     trace_parser = commands.add_parser(
         "trace", help="run one scheme with event tracing"
     )
@@ -728,6 +855,11 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument(
         "--buffer", type=int, default=None, metavar="N",
         help="keep only the last N events for the printed summary"
+    )
+    trace_parser.add_argument(
+        "--kinds", metavar="K1,K2,...", default=None,
+        help="keep only these event kinds in the summary and JSONL log "
+             f"(known: {', '.join(sorted(EVENT_TYPES))})"
     )
     trace_parser.add_argument(
         "--manifest", action="store_true",

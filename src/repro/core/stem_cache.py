@@ -33,6 +33,7 @@ from repro.common.stats import CacheStats
 from repro.core.config import StemConfig
 from repro.core.scdm import SetMonitor
 from repro.obs.events import (
+    CoopHit,
     Coupling,
     Decoupling,
     Eviction,
@@ -121,6 +122,13 @@ class StemCache:
         self._cc_count: List[int] = [0] * num_sets
         # Resilience state: sets pinned to plain LRU after recovery.
         self._in_safe_mode: List[bool] = [False] * num_sets
+        # Attribution counters for the capacity-flow ledger, maintained
+        # only under the tracer guard (zero cost when tracing is off)
+        # and zeroed with the stats so they cover the measured window.
+        # Underscore-prefixed: the manifest's scheme hash ignores them.
+        self._led_hits: List[int] = [0] * num_sets
+        self._led_coop: List[int] = [0] * num_sets
+        self._led_bip: List[int] = [0] * num_sets
         if self.config.safe_mode:
             # Shadow the class method with the guarded path so the
             # default configuration pays zero overhead per access.
@@ -142,6 +150,10 @@ class StemCache:
         if way is not None:
             stats.hits += 1
             stats.local_hits += 1
+            if self.tracer.enabled:
+                self._led_hits[set_index] += 1
+                if self._mode[set_index] == _MODE_BIP:
+                    self._led_bip[set_index] += 1
             monitor = self.monitors[set_index]
             monitor.record_local_hit(self.rng)
             if is_write:
@@ -168,6 +180,18 @@ class StemCache:
             if coop_way is not None:
                 stats.hits += 1
                 stats.cooperative_hits += 1
+                tracer = self.tracer
+                if tracer.enabled:
+                    # Credit the taker: its access was saved.  The hit
+                    # is spatial, never temporal, even under BIP.
+                    self._led_hits[set_index] += 1
+                    self._led_coop[set_index] += 1
+                    tracer.emit(CoopHit(
+                        access=stats.accesses,
+                        set_index=set_index,
+                        global_access=self._access_base + stats.accesses,
+                        giver=giver,
+                    ))
                 if is_write:
                     self._dirty[giver][coop_way] = True
                 order = self._order[giver]
@@ -214,6 +238,7 @@ class StemCache:
                         set_index=set_index,
                         global_access=self._access_base + stats.accesses,
                         mode=self.policy_mode_of(set_index),
+                        hits=stats.hits,
                     ))
             monitor.acknowledge_policy_swap()
         self._maybe_post_giver(set_index, monitor)
@@ -543,11 +568,22 @@ class StemCache:
         self.stats.decouplings += 1
         tracer = self.tracer
         if tracer.enabled:
+            # The pair dissolves when the giver drains its last
+            # cooperative block.  If the giver still qualifies as a
+            # giver the taker simply stopped re-referencing its spilled
+            # blocks; otherwise the giver's own demand recovered,
+            # receiving control cut the inflow, and the drain follows
+            # from that role change.
+            reason = (
+                "giver_drained" if self.monitors[giver].is_giver
+                else "role_change"
+            )
             tracer.emit(Decoupling(
                 access=self.stats.accesses,
                 set_index=taker,
                 global_access=self._access_base + self.stats.accesses,
                 giver=giver,
+                reason=reason,
             ))
 
     # ------------------------------------------------------------------
@@ -662,6 +698,31 @@ class StemCache:
                 and self.association.raw_entry(partner) == set_index
             ):
                 self.association.force_entry(partner, partner)
+                # The dissolution is an event-stream fact the ledger
+                # must see, but not a normal decoupling: the stats
+                # counter stays untouched (only `_decouple` mirrors
+                # it), and only the first of the pair's two
+                # _enter_safe_mode calls emits (the second finds the
+                # association already dissolved above).
+                tracer = self.tracer
+                if tracer.enabled:
+                    role = self._coupled_role[set_index]
+                    if role == _TAKER:
+                        pair = (set_index, partner)
+                    elif role == _GIVER:
+                        pair = (partner, set_index)
+                    else:
+                        pair = None  # glitched pairing with no roles
+                    if pair is not None:
+                        tracer.emit(Decoupling(
+                            access=self.stats.accesses,
+                            set_index=pair[0],
+                            global_access=(
+                                self._access_base + self.stats.accesses
+                            ),
+                            giver=pair[1],
+                            reason="safe_mode",
+                        ))
         self._coupled_role[set_index] = _UNCOUPLED
         self._rebuild_set(set_index)
         self.monitors[set_index].reset()
@@ -810,6 +871,23 @@ class StemCache:
         """Per-set rows for the metrics registry (heatmap data)."""
         return {"occupancy": [len(table) for table in self._lookup]}
 
+    def ledger_counters(self) -> Dict[str, List[int]]:
+        """Per-set attribution counters for the capacity-flow ledger.
+
+        Maintained only while a tracer is attached (all zeros
+        otherwise) and zeroed by :meth:`reset_stats`, so they cover
+        exactly the measured window — matching ``stats``: the per-set
+        hits sum to ``stats.hits``, the cooperative hits to
+        ``stats.cooperative_hits``.  ``swapped_policy_hits`` counts
+        local hits taken while the set's insertion policy was BIP —
+        the temporal component :mod:`repro.obs.explain` reports.
+        """
+        return {
+            "hits": list(self._led_hits),
+            "cooperative_hits": list(self._led_coop),
+            "swapped_policy_hits": list(self._led_bip),
+        }
+
     def reset_stats(self) -> None:
         """Zero statistics (e.g. after warm-up).
 
@@ -818,6 +896,10 @@ class StemCache:
         """
         self._access_base += self.stats.accesses
         self.stats = CacheStats()
+        num_sets = self.geometry.num_sets
+        self._led_hits = [0] * num_sets
+        self._led_coop = [0] * num_sets
+        self._led_bip = [0] * num_sets
 
     def check_invariants(self) -> None:
         """Verify structural consistency; used by property tests.

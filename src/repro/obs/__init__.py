@@ -22,6 +22,13 @@ and the README's *Observability* section):
 * **diff + htmlreport** — :func:`diff_results` compares two runs into
   a byte-stable delta report; :func:`render_run_html` renders one run
   or an A/B pair as a self-contained single-file HTML dashboard.
+* **ledger + explain** — :class:`LedgerSink` reduces the event stream
+  online into a sealed :class:`RunLedger` of coupling episodes,
+  policy-swap windows and a per-set capacity-flow account (with
+  conservation invariants checked at seal); :func:`attribute`
+  decomposes the hit delta between two runs into exact spatial /
+  temporal / residual components (DESIGN.md §14), rendered by
+  ``repro explain``.
 * **telemetry + fleet** — live fleet telemetry (DESIGN.md §11): a
   per-run channel of append-only JSONL status files carrying grid →
   cell → phase spans, wall-clock-throttled heartbeats with worker
@@ -36,6 +43,7 @@ and the README's *Observability* section):
 
 from repro.obs.events import (
     EVENT_TYPES,
+    CoopHit,
     Coupling,
     Decoupling,
     Eviction,
@@ -49,7 +57,18 @@ from repro.obs.events import (
     event_from_dict,
 )
 from repro.obs.diff import MetricDelta, RunDiff, SetDivergence, diff_results
-from repro.obs.htmlreport import diff_to_html, render_run_html
+from repro.obs.explain import Attribution, SetAttribution, attribute
+from repro.obs.htmlreport import (
+    diff_to_html,
+    explain_to_html,
+    render_run_html,
+)
+from repro.obs.ledger import (
+    CouplingEpisode,
+    LedgerSink,
+    RunLedger,
+    SwapEpisode,
+)
 from repro.obs.inspect import (
     CouplingSpan,
     coupling_lifetimes,
@@ -90,6 +109,7 @@ from repro.obs.telemetry import (
 )
 from repro.obs.profile import PhaseTimer, ProfileRecord, RunProfiler
 from repro.obs.sinks import (
+    FilteredSink,
     JsonlSink,
     RingBufferSink,
     load_events,
@@ -99,16 +119,21 @@ from repro.obs.tracer import NULL_TRACER, Tracer, TraceSink
 
 __all__ = [
     "EVENT_TYPES",
+    "Attribution",
     "CellFleetStatus",
     "CellTelemetry",
+    "CoopHit",
     "Coupling",
+    "CouplingEpisode",
     "CouplingSpan",
     "Decoupling",
     "Eviction",
     "FaultInjected",
+    "FilteredSink",
     "FleetStatus",
     "GridTelemetry",
     "JsonlSink",
+    "LedgerSink",
     "MetricDelta",
     "MetricsRegistry",
     "MetricsSeries",
@@ -118,13 +143,16 @@ __all__ = [
     "ProfileRecord",
     "RingBufferSink",
     "RunDiff",
+    "RunLedger",
     "RunManifest",
     "RunProfiler",
     "SafeModeEntry",
+    "SetAttribution",
     "SetDivergence",
     "ShadowHit",
     "Spill",
     "SpillReject",
+    "SwapEpisode",
     "TelemetrySpec",
     "TraceEvent",
     "TraceSink",
@@ -144,12 +172,14 @@ __all__ = [
     "resource_sample",
     "scheme_trajectories",
     "write_status",
+    "attribute",
     "coupling_lifetimes",
     "coupling_spans",
     "describe_scheme",
     "diff_results",
     "diff_to_html",
     "event_clock",
+    "explain_to_html",
     "event_counts",
     "event_from_dict",
     "load_events",

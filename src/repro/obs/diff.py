@@ -99,6 +99,7 @@ class RunDiff:
     series_note: Optional[str] = None
     top_sets: List[SetDivergence] = field(default_factory=list)
     sets_note: Optional[str] = None
+    ledger_note: Optional[str] = None
 
     def as_dict(self) -> Dict[str, Any]:
         """JSON-serialisable view (for ``repro diff --json``)."""
@@ -132,6 +133,7 @@ class RunDiff:
                 for s in self.top_sets
             ],
             "sets_note": self.sets_note,
+            "ledger_note": self.ledger_note,
         }
 
     def render(self) -> str:
@@ -190,6 +192,9 @@ class RunDiff:
                     f"  set {s.set_index:>6}  A {_fmt(s.mean_a):>10}  "
                     f"B {_fmt(s.mean_b):>10}  delta {_fmt(s.delta):>10}"
                 )
+        if self.ledger_note is not None:
+            lines.append("")
+            lines.append(f"ledger: {self.ledger_note}")
         return "\n".join(lines) + "\n"
 
 
@@ -229,6 +234,25 @@ def diff_results(
     diff = RunDiff(label_a=_label(a), label_b=_label(b))
     scalars_a = _scalar_metrics(a)
     scalars_b = _scalar_metrics(b)
+    # Ledger roll-ups join the scalar table only when a run carries a
+    # sealed ledger — ledger-less diffs render exactly as before.
+    if a.ledger is not None or b.ledger is not None:
+        for result, scalars in ((a, scalars_a), (b, scalars_b)):
+            if result.ledger is not None:
+                for name, value in result.ledger.summary().items():
+                    scalars[f"ledger.{name}"] = float(value)
+        if a.ledger is None or b.ledger is None:
+            missing = "A" if a.ledger is None else "B"
+            diff.ledger_note = (
+                f"run {missing} carries no capacity-flow ledger "
+                f"(re-run with ledger=True / --ledger); its ledger.* "
+                f"scalars read as 0"
+            )
+        else:
+            diff.ledger_note = (
+                "ledger.* scalars compare sealed capacity-flow ledgers "
+                "(see repro explain for attribution)"
+            )
     for name in sorted(set(scalars_a) | set(scalars_b)):
         diff.scalars.append(MetricDelta(
             name=name,

@@ -103,21 +103,52 @@ class Coupling(TraceEvent):
 
 
 @dataclass(frozen=True, slots=True)
-class Decoupling(TraceEvent):
-    """The (``set_index`` = taker, ``giver``) pair dissolved."""
+class CoopHit(TraceEvent):
+    """Taker ``set_index`` hit in space borrowed from ``giver``.
 
-    kind: ClassVar[str] = "decoupling"
+    Mirrors ``stats.cooperative_hits``: the access missed the taker's
+    own ways but found the block among the cooperative blocks its
+    coupled giver caches on its behalf.  Emitted from the miss path
+    only, so it is as rare as the cooperative hits themselves.
+    """
+
+    kind: ClassVar[str] = "coop_hit"
 
     giver: int = -1
 
 
 @dataclass(frozen=True, slots=True)
+class Decoupling(TraceEvent):
+    """The (``set_index`` = taker, ``giver``) pair dissolved.
+
+    ``reason`` records *why*: ``giver_drained`` (the giver evicted its
+    last cooperative block while still acting as a giver),
+    ``role_change`` (the pair dissolved because the giver's demand
+    recovered), or ``safe_mode`` (an invariant sweep dissolved the pair
+    while repairing the set).  Logs written before the field existed
+    rebuild with the empty string.
+    """
+
+    kind: ClassVar[str] = "decoupling"
+
+    giver: int = -1
+    reason: str = ""
+
+
+@dataclass(frozen=True, slots=True)
 class PolicySwap(TraceEvent):
-    """SC_T saturated: ``set_index`` swapped its policy to ``mode``."""
+    """SC_T saturated: ``set_index`` swapped its policy to ``mode``.
+
+    ``hits`` snapshots ``stats.hits`` at the swap, pairing with
+    ``access`` so the ledger can compute hit rates for the windows
+    before and after each swap without retaining per-access events.
+    Old logs rebuild with ``hits=0``.
+    """
 
     kind: ClassVar[str] = "policy_swap"
 
     mode: str = "LRU"
+    hits: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -162,6 +193,7 @@ EVENT_TYPES: Dict[str, Type[TraceEvent]] = {
         Spill,
         SpillReject,
         Coupling,
+        CoopHit,
         Decoupling,
         PolicySwap,
         ShadowHit,

@@ -29,6 +29,13 @@ if TYPE_CHECKING:  # hint-only: sim imports obs, not vice versa
 _COLOR_A = "#2166ac"
 _COLOR_B = "#e08214"
 
+#: Timeline roles: giver = blue, taker = orange, both-in-bucket = purple.
+_COLOR_BOTH = "#762a83"
+
+#: Timeline caps mirror the heatmap's; the coupling Gantt strip shows
+#: at most this many episodes (earliest first) before noting the rest.
+_MAX_GANTT_ROWS = 48
+
 #: Heatmap caps keep the SVG small for big geometries/long runs: sets
 #: are averaged into at most this many rows, windows into columns.
 _MAX_HEAT_ROWS = 64
@@ -158,6 +165,156 @@ def _svg_heatmap(
             )
     rects.append("</svg>")
     return "".join(rects)
+
+
+def _timeline_geometry(ledger) -> Tuple[int, int]:
+    """(num_sets, clock_span) the timeline must cover, or (0, 0)."""
+    num_sets = 0
+    if ledger.counters:
+        num_sets = max(
+            (len(values) for values in ledger.counters.values()), default=0
+        )
+    highest = -1
+    span = ledger.final_accesses
+    for episode in ledger.coupling_episodes:
+        highest = max(highest, episode.taker, episode.giver)
+        span = max(span, episode.start + 1)
+        if episode.end is not None:
+            span = max(span, episode.end)
+    for swap in ledger.swap_episodes:
+        highest = max(highest, swap.set_index)
+        span = max(span, swap.clock + 1)
+    num_sets = max(num_sets, highest + 1)
+    return num_sets, span
+
+
+def _svg_timeline(ledger, num_sets: int, span: int, cell: int = 7) -> str:
+    """Sets x clock-bucket grid of coupling roles, with swap ticks.
+
+    Rows are sets (bucketed to at most ``_MAX_HEAT_ROWS``), columns are
+    equal slices of the event clock (at most ``_MAX_HEAT_COLS``).  A
+    bucket is orange while the set takes capacity, blue while it gives
+    it, purple when bucketing folds both roles together, white when
+    uncoupled.  Policy swaps draw as dark ticks at the top of their
+    set's row.
+    """
+    rows = min(num_sets, _MAX_HEAT_ROWS)
+    cols = min(max(span, 1), _MAX_HEAT_COLS)
+
+    def row_of(set_index: int) -> int:
+        return min(set_index * rows // num_sets, rows - 1)
+
+    def col_of(clock: int) -> int:
+        clock = min(max(clock, 0), span - 1) if span else 0
+        return min(clock * cols // max(span, 1), cols - 1)
+
+    taker_cells = [[False] * cols for _ in range(rows)]
+    giver_cells = [[False] * cols for _ in range(rows)]
+    for episode in ledger.coupling_episodes:
+        end = episode.end if episode.end is not None else span
+        first = col_of(episode.start)
+        last = col_of(max(end - 1, episode.start))
+        for col in range(first, last + 1):
+            taker_cells[row_of(episode.taker)][col] = True
+            giver_cells[row_of(episode.giver)][col] = True
+    width = cols * cell
+    height = rows * cell
+    parts = [
+        f'<svg width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" role="img">',
+        f'<rect width="{width}" height="{height}" fill="#ffffff"/>',
+    ]
+    for row in range(rows):
+        for col in range(cols):
+            taking = taker_cells[row][col]
+            giving = giver_cells[row][col]
+            if not taking and not giving:
+                continue
+            color = (
+                _COLOR_BOTH if taking and giving
+                else _COLOR_B if taking else _COLOR_A
+            )
+            parts.append(
+                f'<rect x="{col * cell}" y="{row * cell}" '
+                f'width="{cell}" height="{cell}" fill="{color}"/>'
+            )
+    for swap in ledger.swap_episodes:
+        parts.append(
+            f'<rect x="{col_of(swap.clock) * cell}" '
+            f'y="{row_of(swap.set_index) * cell}" '
+            f'width="{cell}" height="2" fill="#1a1a1a"/>'
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _svg_gantt(ledger, span: int, row_height: int = 6,
+               width: int = 896) -> str:
+    """One horizontal bar per coupling episode, earliest first."""
+    episodes = ledger.coupling_episodes[:_MAX_GANTT_ROWS]
+    if not episodes:
+        return ""
+    height = len(episodes) * row_height
+    scale = width / max(span, 1)
+    parts = [
+        f'<svg width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" role="img">',
+        f'<rect width="{width}" height="{height}" fill="#ffffff"/>',
+    ]
+    for index, episode in enumerate(episodes):
+        end = episode.end if episode.end is not None else span
+        x = episode.start * scale
+        bar = max((end - episode.start) * scale, 1.0)
+        parts.append(
+            f'<rect x="{x:.2f}" y="{index * row_height}" '
+            f'width="{bar:.2f}" height="{row_height - 1}" '
+            f'fill="{_COLOR_A}"/>'
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _timeline_section(tag: str, result: RunResult,
+                      paired: bool) -> List[str]:
+    """The spatiotemporal timeline blocks for one ledgered run."""
+    ledger = result.ledger
+    num_sets, span = _timeline_geometry(ledger)
+    heading = "Spatiotemporal timeline"
+    if paired:
+        heading += f" — {tag}"
+    parts = [f"<h2>{escape(heading)}</h2>"]
+    if num_sets == 0 or span == 0:
+        parts.append(
+            '<p class="note">ledger sealed with no attributable '
+            "activity</p>"
+        )
+        return parts
+    parts.append(
+        '<p class="legend">'
+        f'<span class="swatch" style="background:{_COLOR_B}"></span>'
+        "taker &nbsp; "
+        f'<span class="swatch" style="background:{_COLOR_A}"></span>'
+        "giver &nbsp; "
+        f'<span class="swatch" style="background:{_COLOR_BOTH}"></span>'
+        "both (bucketed) &nbsp; dark tick = policy swap</p>"
+    )
+    parts.append(
+        '<p class="note">rows = sets (top = set 0), columns = event '
+        f"clock; axes bucketed to {_MAX_HEAT_ROWS}&times;"
+        f"{_MAX_HEAT_COLS}</p>"
+    )
+    parts.append(_svg_timeline(ledger, num_sets, span))
+    gantt = _svg_gantt(ledger, span)
+    if gantt:
+        shown = min(len(ledger.coupling_episodes), _MAX_GANTT_ROWS)
+        note = f"coupling episodes ({shown}"
+        total = len(ledger.coupling_episodes) + ledger.episodes_dropped
+        if total > shown:
+            note += f" of {total}"
+        note += ", earliest first; bar spans the episode's clock window)"
+        parts.append(f'<p class="note">{escape(note)}</p>')
+        parts.append(gantt)
+    return parts
 
 
 def _occupancy_ceiling(result: RunResult) -> float:
@@ -306,6 +463,14 @@ def render_run_html(
         )
         parts.append(_svg_heatmap(rows, _occupancy_ceiling(result)))
 
+    # Ledgered runs grow the spatiotemporal timeline view; ledger-less
+    # pages keep their exact pre-ledger bytes.
+    for tag, result in runs:
+        if result.ledger is not None:
+            parts.extend(
+                _timeline_section(tag, result, paired=b is not None)
+            )
+
     parts.append("</body></html>")
     return "\n".join(parts) + "\n"
 
@@ -414,3 +579,128 @@ def diff_to_html(a: RunResult, b: RunResult) -> str:
         + "</pre>\n</body></html>\n"
     )
     return page.replace("</body></html>\n", appendix)
+
+
+#: How many per-set attribution rows the explain page tabulates.
+_MAX_EXPLAIN_SETS = 32
+
+
+def _component_bar(value: int, scale: int, color: str,
+                   width: int = 320, height: int = 14) -> str:
+    """One signed horizontal bar, zero-anchored at the middle."""
+    half = width // 2
+    magnitude = abs(value) / scale * half if scale else 0.0
+    x = half - magnitude if value < 0 else half
+    return (
+        f'<svg width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" role="img">'
+        f'<line x1="{half}" y1="0" x2="{half}" y2="{height}" '
+        'stroke="#888" stroke-width="1"/>'
+        f'<rect x="{x:.2f}" y="2" width="{magnitude:.2f}" '
+        f'height="{height - 4}" fill="{color}"/></svg>'
+    )
+
+
+def explain_to_html(attribution) -> str:
+    """Self-contained page for one :func:`~repro.obs.explain.attribute`.
+
+    Same contract as :func:`render_run_html`: inline styles only, zero
+    network references, byte-deterministic for identical inputs.
+    """
+    title = (
+        f"explain: {attribution.label_a} vs {attribution.label_b}"
+    )
+    components = [
+        ("spatial", attribution.spatial,
+         "cooperative hits in borrowed space", _COLOR_A),
+        ("temporal", attribution.temporal,
+         "hits under a swapped insertion policy", _COLOR_B),
+        ("residual", attribution.residual,
+         "replacement-order and interaction effects", "#888888"),
+    ]
+    scale = max(
+        [abs(value) for _, value, _, _ in components]
+        + [abs(attribution.total_delta_hits), 1]
+    )
+    parts: List[str] = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        f"<title>{escape(title)}</title>",
+        f"<style>{_STYLE}</style>",
+        "</head><body>",
+        f"<h1>{escape(title)}</h1>",
+        f'<p class="note">total hit delta (B - A): '
+        f"{attribution.total_delta_hits:+d} hits over "
+        f"{attribution.accesses_b} measured accesses &mdash; observed "
+        f"class {escape(attribution.classification.label)}</p>",
+        "<h2>Decomposition</h2>",
+        "<table>",
+        '<tr><th class="name">component</th><th>hits</th>'
+        '<th class="name">meaning</th><th class="name"></th></tr>',
+    ]
+    for name, value, meaning, color in components:
+        parts.append(
+            f'<tr><td class="name">{escape(name)}</td>'
+            f"<td>{value:+d}</td>"
+            f'<td class="name">{escape(meaning)}</td>'
+            f"<td>{_component_bar(value, scale, color)}</td></tr>"
+        )
+    parts.append("</table>")
+    if attribution.sets:
+        ranked = sorted(
+            attribution.sets,
+            key=lambda row: (-abs(row.delta_hits), row.set_index),
+        )[:_MAX_EXPLAIN_SETS]
+        parts.append(
+            f"<h2>Top {len(ranked)} diverging sets</h2>"
+        )
+        parts.append("<table>")
+        parts.append(
+            '<tr><th class="name">set</th><th>delta hits</th>'
+            "<th>spatial</th><th>temporal</th><th>residual</th></tr>"
+        )
+        for row in ranked:
+            parts.append(
+                f'<tr><td class="name">{row.set_index}</td>'
+                f"<td>{row.delta_hits:+d}</td><td>{row.spatial:+d}</td>"
+                f"<td>{row.temporal:+d}</td><td>{row.residual:+d}</td>"
+                "</tr>"
+            )
+        parts.append("</table>")
+    summaries = [
+        ("A", attribution.label_a, attribution.ledger_summary_a),
+        ("B", attribution.label_b, attribution.ledger_summary_b),
+    ]
+    if any(summary is not None for _, _, summary in summaries):
+        parts.append("<h2>Ledger roll-ups</h2>")
+        parts.append("<table>")
+        parts.append(
+            '<tr><th class="name">run</th><th class="name">label</th>'
+            "<th>episodes</th><th>swaps</th><th>lent</th>"
+            "<th>borrowed</th><th>spills</th><th>coop hits</th></tr>"
+        )
+        for tag, label, summary in summaries:
+            if summary is None:
+                parts.append(
+                    f'<tr><td class="name">{tag}</td>'
+                    f'<td class="name">{escape(label)}</td>'
+                    '<td colspan="6">no ledger</td></tr>'
+                )
+                continue
+            parts.append(
+                f'<tr><td class="name">{tag}</td>'
+                f'<td class="name">{escape(label)}</td>'
+                f"<td>{summary['coupling_episodes']}</td>"
+                f"<td>{summary['policy_swaps']}</td>"
+                f"<td>{summary['lent']}</td>"
+                f"<td>{summary['borrowed']}</td>"
+                f"<td>{summary['spill_events']}</td>"
+                f"<td>{summary['coop_hit_events']}</td></tr>"
+            )
+        parts.append("</table>")
+    for note in attribution.notes:
+        parts.append(f'<p class="note">note: {escape(note)}</p>')
+    parts.append("<h2>Text report</h2>")
+    parts.append("<pre>" + escape(attribution.render()) + "</pre>")
+    parts.append("</body></html>")
+    return "\n".join(parts) + "\n"

@@ -106,22 +106,57 @@ class JsonlSink:
         self.close()
 
 
+class FilteredSink:
+    """Forward only the named event kinds to a wrapped sink.
+
+    The filter sits between the tracer and any concrete sink, so
+    ``repro trace --kinds coupling,policy_swap`` records a focused log
+    without changing emission: the cache still runs every tracepoint
+    (tracing semantics, clocks and stats are untouched), only the
+    persisted stream shrinks.  ``total_filtered`` counts what was
+    dropped.
+    """
+
+    def __init__(self, sink, kinds) -> None:
+        self.sink = sink
+        self.kinds = frozenset(kinds)
+        if not self.kinds:
+            raise ConfigError("FilteredSink needs at least one event kind")
+        self.total_filtered = 0
+
+    def record(self, event: TraceEvent) -> None:
+        if event.kind in self.kinds:
+            self.sink.record(event)
+        else:
+            self.total_filtered += 1
+
+    def close(self) -> None:
+        close = getattr(self.sink, "close", None)
+        if close is not None:
+            close()
+
+
 def load_events(
     path: Union[str, Path], strict: bool = True
 ) -> List[TraceEvent]:
     """Read a JSONL event log back into typed events.
 
-    With ``strict=False`` a malformed *final* line — the signature of a
-    process killed mid-write — is tolerated: the intact prefix is
-    returned and a :class:`UserWarning` reports the truncation.  A
-    malformed line anywhere else is corruption, not a crash artefact,
-    and always raises.
+    With ``strict=False`` every unreadable line — malformed JSON (a
+    process killed mid-write, or a crash-restart writer that tore a
+    line mid-file) or a record no registered event type accepts (a log
+    from a newer writer) — is skipped: the readable events are returned
+    and a single :class:`UserWarning` reports which lines were dropped.
+    Under ``strict=True`` (the default) the first bad line raises
+    :class:`~repro.common.errors.ConfigError` naming it.
     """
-    events, truncated_line = load_events_report(path, strict=strict)
-    if truncated_line is not None:
+    events, skipped = load_events_report(path, strict=strict)
+    if skipped:
+        listed = ", ".join(str(number) for number in skipped[:8])
+        if len(skipped) > 8:
+            listed += f", ... ({len(skipped)} total)"
         warnings.warn(
-            f"{path}:{truncated_line}: truncated final event line "
-            f"dropped ({len(events)} events recovered)",
+            f"{path}: skipped unreadable event line(s) {listed} "
+            f"({len(events)} events recovered)",
             stacklevel=2,
         )
     return events
@@ -129,29 +164,30 @@ def load_events(
 
 def load_events_report(
     path: Union[str, Path], strict: bool = True
-) -> Tuple[List[TraceEvent], Optional[int]]:
-    """Like :func:`load_events`, reporting a tolerated truncation.
+) -> Tuple[List[TraceEvent], List[int]]:
+    """Like :func:`load_events`, reporting which lines were skipped.
 
-    Returns ``(events, line_number_of_truncated_final_line_or_None)``.
+    Returns ``(events, skipped_line_numbers)``; the second element is
+    empty for a clean log.  Under ``strict=True`` nothing is ever
+    skipped — the first unreadable line raises instead — so the report
+    form only adds information with ``strict=False``.
     """
     events: List[TraceEvent] = []
+    skipped: List[int] = []
     with Path(path).open("r", encoding="utf-8") as handle:
         lines = handle.readlines()
-    last_content_line = 0
-    for line_number, line in enumerate(lines, start=1):
-        if line.strip():
-            last_content_line = line_number
     for line_number, line in enumerate(lines, start=1):
         line = line.strip()
         if not line:
             continue
         try:
             record = json.loads(line)
-        except json.JSONDecodeError as exc:
-            if not strict and line_number == last_content_line:
-                return events, line_number
+            events.append(event_from_dict(record))
+        except (json.JSONDecodeError, ConfigError, TypeError) as exc:
+            if not strict:
+                skipped.append(line_number)
+                continue
             raise ConfigError(
                 f"{path}:{line_number}: malformed event line"
             ) from exc
-        events.append(event_from_dict(record))
-    return events, None
+    return events, skipped

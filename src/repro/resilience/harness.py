@@ -66,6 +66,7 @@ def guarded_run(
     metrics_window: Optional[int] = None,
     telemetry=None,
     backend: Optional[str] = None,
+    ledger: bool = False,
 ) -> Union[RunResult, RunFailure]:
     """Run one (scheme, trace) cell with isolation.
 
@@ -88,6 +89,12 @@ def guarded_run(
     defect can never burn the whole retry budget on the same kernel.
     (The exactness contract makes the paths interchangeable, so the
     downgrade is invisible in results.)
+
+    ``ledger=True`` threads the capacity-flow ledger through each
+    attempt (every retry gets a fresh sink with its fresh cache).  A
+    conservation violation at seal is an exception like any other: it
+    is retried under the policy and, if persistent, surfaces as a
+    structured :class:`RunFailure` naming ``InvariantViolation``.
     """
     retry = retry if retry is not None else DEFAULT_RETRY
     seeds = retry.seeds(base_seed)
@@ -112,6 +119,7 @@ def guarded_run(
                 metrics_window=metrics_window,
                 telemetry=telemetry,
                 backend=backend if attempt == 1 else "python",
+                ledger=ledger,
             )
             if telemetry is not None:
                 telemetry.cell_end("ok")

@@ -28,12 +28,16 @@ from repro.analysis.metrics import MetricSet
 from repro.common.errors import ConfigError
 from repro.common.io import atomic_write_text
 from repro.common.stats import CacheStats
+from repro.obs.ledger import RunLedger
 from repro.obs.manifest import RunManifest
 from repro.obs.metrics import MetricsSeries
 from repro.sim.simulator import RunResult
 
 #: Bumped whenever the stored layout changes; mismatches load as misses.
-#: Format 2 added the optional windowed-metrics ``series`` payload.
+#: Format 2 added the optional windowed-metrics ``series`` payload; the
+#: optional capacity-flow ``ledger`` key rides the same format because
+#: it is emitted only when present — ledger-less entries keep their
+#: exact pre-ledger bytes, and old entries load with ``ledger=None``.
 _FORMAT = 2
 
 
@@ -46,8 +50,12 @@ def result_to_dict(result: RunResult) -> Dict[str, Any]:
     ``result_digest`` values and saved-run bytes across paths that
     produced the same result.  Round-tripped results report the default
     ``"python"`` — execution provenance is in-process information.
+
+    The capacity-flow ``ledger`` is serialised only when present, so
+    every ledger-less payload (including everything written before the
+    field existed) keeps its exact bytes and digests.
     """
-    return {
+    payload = {
         "scheme": result.scheme,
         "trace_name": result.trace_name,
         "stats": asdict(result.stats),
@@ -61,12 +69,16 @@ def result_to_dict(result: RunResult) -> Dict[str, Any]:
             result.series.as_dict() if result.series is not None else None
         ),
     }
+    if result.ledger is not None:
+        payload["ledger"] = result.ledger.as_dict()
+    return payload
 
 
 def result_from_dict(payload: Dict[str, Any]) -> RunResult:
     """Rebuild a :class:`RunResult` stored by :func:`result_to_dict`."""
     manifest_payload = payload.get("manifest")
     series_payload = payload.get("series")
+    ledger_payload = payload.get("ledger")
     return RunResult(
         scheme=payload["scheme"],
         trace_name=payload["trace_name"],
@@ -81,6 +93,10 @@ def result_from_dict(payload: Dict[str, Any]) -> RunResult:
         series=(
             MetricsSeries.from_dict(series_payload)
             if series_payload is not None else None
+        ),
+        ledger=(
+            RunLedger.from_dict(ledger_payload)
+            if ledger_payload is not None else None
         ),
     )
 

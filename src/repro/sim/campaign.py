@@ -89,7 +89,7 @@ JOURNAL_FORMAT = 1
 _SPEC_KEYS = frozenset({
     "name", "schemes", "benchmarks", "geometries", "seeds",
     "fault_plans", "trace_length", "warmup_fraction", "metrics_window",
-    "retry", "watchdog_seconds", "backend",
+    "retry", "watchdog_seconds", "backend", "ledger",
 })
 
 _RETRY_KEYS = frozenset({"max_attempts", "reseed_step"})
@@ -168,6 +168,7 @@ class CampaignSpec:
     retry: Optional[RetryPolicy]
     watchdog_seconds: Optional[float]
     backend: Optional[str] = None
+    ledger: bool = False
 
     def total_cells(self) -> int:
         return (
@@ -202,6 +203,11 @@ class CampaignSpec:
             # pre-existing journal digest keeps resuming.  (The backend
             # cannot change results — the digest guards *intent*.)
             payload["backend"] = self.backend
+        if self.ledger:
+            # Same only-when-set idiom; a ledgered campaign produces
+            # different cell payloads, so it must not resume a
+            # ledger-less journal (or vice versa).
+            payload["ledger"] = True
         canonical = json.dumps(payload, sort_keys=True,
                                separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
@@ -349,6 +355,14 @@ def _parse_backend(
     return raw
 
 
+def _parse_ledger(source: str, document: Dict[str, Any]) -> bool:
+    raw = document.get("ledger", False)
+    if not isinstance(raw, bool):
+        raise _fail(source, "ledger",
+                    f"expected true or false, got {raw!r}")
+    return raw
+
+
 def _parse_retry(
     source: str, document: Dict[str, Any]
 ) -> Optional[RetryPolicy]:
@@ -461,6 +475,7 @@ def load_campaign_spec(path: Union[str, Path]) -> CampaignSpec:
         retry=_parse_retry(source, document),
         watchdog_seconds=watchdog_seconds,
         backend=_parse_backend(source, document),
+        ledger=_parse_ledger(source, document),
     )
 
 
@@ -528,6 +543,7 @@ def build_cells(spec: CampaignSpec) -> List[CampaignCell]:
                                 metrics_window=spec.metrics_window,
                                 fault_plan=plan,
                                 backend=spec.backend,
+                                ledger=spec.ledger,
                             ),
                         ))
                         index += 1
@@ -1002,6 +1018,16 @@ def run_campaign(
         "mpki": matrix.metric_table(lambda result: result.mpki),
         "normalized_mpki": normalized,
     }
+    if spec.ledger:
+        # Per-cell capacity-flow roll-ups; the key appears only for
+        # ledgered campaigns, so every existing summary.json (and the
+        # resume smoke's byte comparison) keeps its exact bytes.
+        summary["ledgers"] = matrix.metric_table(
+            lambda result: (
+                result.ledger.summary() if result.ledger is not None
+                else None
+            )
+        )
     atomic_write_text(
         summary_path, json.dumps(summary, indent=2, sort_keys=True) + "\n"
     )

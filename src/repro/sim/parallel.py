@@ -81,6 +81,14 @@ class CellSpec:
     *not* part of :func:`cell_cache_key`: the exactness contract makes
     backends interchangeable, so a cached scalar result satisfies a
     numpy request and vice versa.
+
+    ``ledger=True`` attaches the capacity-flow
+    :class:`~repro.obs.ledger.LedgerSink` inside the run, so the cell's
+    :class:`RunResult` carries a sealed
+    :class:`~repro.obs.ledger.RunLedger`.  Unlike ``backend`` it *is*
+    part of the cache key (a ledgered result is a strict superset of a
+    ledger-less one), using the same only-when-set idiom as
+    ``fault_plan`` so every pre-existing key stays valid.
     """
 
     index: int
@@ -97,6 +105,7 @@ class CellSpec:
     metrics_window: Optional[int] = None
     fault_plan: Optional[str] = None
     backend: Optional[str] = None
+    ledger: bool = False
 
 
 def _build_cell_cache(spec: CellSpec, seed: int):
@@ -152,6 +161,7 @@ def _execute_cell(
                     metrics_window=spec.metrics_window,
                     telemetry=telemetry,
                     backend=spec.backend,
+                    ledger=spec.ledger,
                 )
             except BaseException as exc:
                 if telemetry is not None:
@@ -174,6 +184,7 @@ def _execute_cell(
             metrics_window=spec.metrics_window,
             telemetry=telemetry,
             backend=spec.backend,
+            ledger=spec.ledger,
         )
     finally:
         if telemetry is not None:
@@ -211,6 +222,10 @@ def cell_cache_key(spec: CellSpec) -> Optional[str]:
         # Only faulted cells carry the field, so every pre-existing
         # key (and cached entry) stays valid.
         payload["fault_plan"] = spec.fault_plan
+    if spec.ledger:
+        # Ledgered results carry a payload ledger-less ones lack, so
+        # they must not satisfy (or be satisfied by) plain lookups.
+        payload["ledger"] = True
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 

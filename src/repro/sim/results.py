@@ -132,6 +132,16 @@ class ResultMatrix:
         result = row.get(scheme)
         return result.series if result is not None else None
 
+    def ledger_for(self, workload: str, scheme: str):
+        """The sealed capacity-flow ledger of a cell, or None.
+
+        None covers both a cell run without ``ledger=True`` and a
+        failed cell (a :class:`RunFailure` carries no ledger).
+        """
+        row = self._cells.get(workload, {})
+        result = row.get(scheme)
+        return result.ledger if result is not None else None
+
     def metric_table(
         self, metric: Callable[[RunResult], float]
     ) -> Dict[str, Dict[str, float]]:

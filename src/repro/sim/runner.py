@@ -52,6 +52,7 @@ def run_matrix(
     metrics_window: Optional[int] = None,
     telemetry_dir=None,
     backend: Optional[str] = None,
+    ledger: bool = False,
 ) -> ResultMatrix:
     """Run every scheme on every trace at one geometry.
 
@@ -70,6 +71,13 @@ def run_matrix(
     ``backend`` selects the per-cell execution path (``"auto"`` /
     ``"python"`` / ``"numpy"``); the columnar path's exactness contract
     means it, too, never changes any outcome (DESIGN.md §13).
+
+    ``ledger=True`` attaches the capacity-flow ledger to every cell, so
+    each :class:`RunResult` carries a sealed
+    :class:`~repro.obs.ledger.RunLedger` (DESIGN.md §14).  Ledgered
+    cells run on the scalar path (tracing forces it) but stay
+    deterministic: serial and parallel grids produce byte-identical
+    ledgers.
     """
     scale = scale if scale is not None else ExperimentScale.default()
     geometry = scale.geometry()
@@ -90,6 +98,7 @@ def run_matrix(
                 watchdog_seconds=watchdog_seconds,
                 metrics_window=metrics_window,
                 backend=backend,
+                ledger=ledger,
             ))
     runner = ParallelRunner(
         max_workers=max_workers, run_cache=run_cache, profiler=profiler,
@@ -118,6 +127,7 @@ def run_benchmarks(
     metrics_window: Optional[int] = None,
     telemetry_dir=None,
     backend: Optional[str] = None,
+    ledger: bool = False,
 ) -> ResultMatrix:
     """Run the (selected) SPEC-like benchmarks through every scheme."""
     scale = scale if scale is not None else ExperimentScale.default()
@@ -135,7 +145,8 @@ def run_benchmarks(
                       watchdog_seconds=watchdog_seconds,
                       max_workers=max_workers, run_cache=run_cache,
                       metrics_window=metrics_window,
-                      telemetry_dir=telemetry_dir, backend=backend)
+                      telemetry_dir=telemetry_dir, backend=backend,
+                      ledger=ledger)
 
 
 def associativity_sweep(
@@ -153,6 +164,7 @@ def associativity_sweep(
     metrics_window: Optional[int] = None,
     telemetry_dir=None,
     backend: Optional[str] = None,
+    ledger: bool = False,
 ) -> Dict[str, List[RunResult]]:
     """MPKI-vs-associativity curves (Figures 3 and 10).
 
@@ -186,6 +198,7 @@ def associativity_sweep(
                 watchdog_seconds=watchdog_seconds,
                 metrics_window=metrics_window,
                 backend=backend,
+                ledger=ledger,
             ))
             spec_scheme.append(scheme_name)
     runner = ParallelRunner(

@@ -23,8 +23,10 @@ from typing import Optional
 from repro.analysis.metrics import MetricSet, evaluate_run
 from repro.common.errors import ConfigError, WatchdogTimeout
 from repro.common.stats import CacheStats
+from repro.obs.ledger import LedgerSink, RunLedger
 from repro.obs.manifest import RunManifest, build_manifest
 from repro.obs.metrics import MetricsRegistry, MetricsSeries
+from repro.obs.tracer import Tracer
 from repro.sim.columnar import (
     BACKEND_NUMPY,
     BACKEND_PYTHON,
@@ -48,6 +50,11 @@ class RunResult:
     (DESIGN.md §13) makes the two paths produce identical results, so
     the field is deliberately excluded from ``result_to_dict`` /
     ``save_run`` payloads and every derived digest.
+
+    ``ledger`` carries the capacity-flow ledger when the run was made
+    with ``ledger=True``; it is None (and costs nothing) by default.
+    Unlike ``backend`` it *is* serialised, so saved runs feed
+    ``repro explain`` without re-simulating.
     """
 
     scheme: str
@@ -59,6 +66,7 @@ class RunResult:
     manifest: Optional[RunManifest] = None
     series: Optional[MetricsSeries] = None
     backend: str = BACKEND_PYTHON
+    ledger: Optional[RunLedger] = None
 
     @property
     def mpki(self) -> float:
@@ -140,6 +148,49 @@ def _run_span(
             )
 
 
+def _attach_ledger_sink(cache, sink: LedgerSink) -> None:
+    """Route the cache's event stream into ``sink``.
+
+    Walks wrapper chains (e.g. the fault injector's
+    :class:`~repro.resilience.faults.InjectingCache`, which delegates
+    attribute *reads* but would swallow writes) to the object that
+    actually owns the ``tracer`` attribute.  A disabled tracer is the
+    shared :data:`~repro.obs.tracer.NULL_TRACER`, which must never be
+    mutated — it is replaced with a fresh enabled tracer; an
+    already-enabled tracer simply gains the sink.
+    """
+    target = cache
+    while "tracer" not in getattr(target, "__dict__", {}):
+        inner = getattr(target, "_cache", None)
+        if inner is None:
+            break
+        target = inner
+    tracer = getattr(target, "tracer", None)
+    if tracer is None:
+        raise ConfigError(
+            f"scheme {type(cache).__name__} does not support tracing, "
+            "so it cannot carry a capacity-flow ledger"
+        )
+    if tracer.enabled:
+        tracer.add_sink(sink)
+    else:
+        target.tracer = Tracer(sink)
+
+
+def _seal_ledger(cache, sink: LedgerSink) -> RunLedger:
+    """Close the run's books: final stats, attribution counters."""
+    counters = None
+    hook = getattr(cache, "ledger_counters", None)
+    if hook is not None:
+        counters = hook()
+    stats = cache.stats
+    return sink.seal(
+        final_accesses=stats.accesses,
+        final_hits=stats.hits,
+        counters=counters,
+    )
+
+
 def run_trace(
     cache,
     trace: Trace,
@@ -150,6 +201,7 @@ def run_trace(
     metrics_window: Optional[int] = None,
     telemetry=None,
     backend: Optional[str] = None,
+    ledger: bool = False,
 ) -> RunResult:
     """Simulate ``trace`` on ``cache`` and evaluate the paper metrics.
 
@@ -187,6 +239,16 @@ def run_trace(
     identical stats, manifest hashes, metric series and RNG stream —
     so the choice never changes results, only wall-clock time
     (DESIGN.md §13).  Schemes without a kernel run scalar regardless.
+
+    ``ledger=True`` attaches a streaming
+    :class:`~repro.obs.ledger.LedgerSink` before warm-up and seals it
+    into ``result.ledger`` after measurement: coupling episodes,
+    policy-swap windows, and the per-set capacity-flow account, with
+    conservation verified at close.  Enabling the tracer forces the
+    scalar access path (per-event clocks must be exact), so ledgered
+    runs trade throughput for the audit — but stay deterministic and
+    byte-identical across serial and parallel execution.  The default
+    ``False`` touches nothing and costs nothing.
     """
     if not 0.0 <= warmup_fraction < 1.0:
         raise ConfigError(
@@ -202,6 +264,14 @@ def run_trace(
     if total == 0:
         raise ConfigError(f"trace {trace.name!r} is empty")
     warm = int(total * warmup_fraction)
+    ledger_sink: Optional[LedgerSink] = None
+    if ledger:
+        # Attach before anything reads cache.tracer: the backend
+        # resolver below must see the enabled tracer and decline the
+        # columnar kernel, and warm-up events belong in the episode
+        # record (the monotonic clock spans the whole run).
+        ledger_sink = LedgerSink()
+        _attach_ledger_sink(cache, ledger_sink)
     access = cache.access
     batch = getattr(cache, "access_batch", None)
     if batch is not None:
@@ -296,6 +366,10 @@ def run_trace(
         measured_seconds=measured_seconds,
         measured_accesses=measured,
     )
+    run_ledger = (
+        _seal_ledger(cache, ledger_sink) if ledger_sink is not None
+        else None
+    )
     return RunResult(
         scheme=scheme,
         trace_name=trace.name,
@@ -309,4 +383,5 @@ def run_trace(
             if registry is not None else None
         ),
         backend=resolved_backend,
+        ledger=run_ledger,
     )

@@ -20,7 +20,7 @@ We implement the behaviour the STEM paper describes and critiques
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.cache.access import AccessKind
 from repro.cache.block import BlockView
@@ -28,7 +28,7 @@ from repro.cache.geometry import CacheGeometry
 from repro.common.errors import ConfigError, InvariantViolation
 from repro.common.rng import Lfsr
 from repro.common.stats import CacheStats
-from repro.obs.events import Coupling, Decoupling, Eviction, Spill
+from repro.obs.events import CoopHit, Coupling, Decoupling, Eviction, Spill
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.spatial.association import AssociationTable
 from repro.spatial.heap import GiverHeap
@@ -93,6 +93,10 @@ class SbcCache:
         self._saturation: List[int] = [0] * num_sets
         self._role: List[int] = [_ROLE_NONE] * num_sets
         self._cc_count: List[int] = [0] * num_sets
+        # Ledger attribution counters (tracer-guarded, reset with the
+        # stats; underscore-prefixed so the manifest hash ignores them).
+        self._led_hits: List[int] = [0] * num_sets
+        self._led_coop: List[int] = [0] * num_sets
 
     # ------------------------------------------------------------------
     # Access path
@@ -109,6 +113,8 @@ class SbcCache:
         if way is not None:
             stats.hits += 1
             stats.local_hits += 1
+            if self.tracer.enabled:
+                self._led_hits[set_index] += 1
             self._on_set_hit(set_index)
             if is_write:
                 self._dirty[set_index][way] = True
@@ -122,6 +128,16 @@ class SbcCache:
             if coop_way is not None:
                 stats.hits += 1
                 stats.cooperative_hits += 1
+                tracer = self.tracer
+                if tracer.enabled:
+                    self._led_hits[set_index] += 1
+                    self._led_coop[set_index] += 1
+                    tracer.emit(CoopHit(
+                        access=stats.accesses,
+                        set_index=set_index,
+                        global_access=self._access_base + stats.accesses,
+                        giver=dest,
+                    ))
                 self._on_set_hit(set_index)
                 if is_write:
                     self._dirty[dest][coop_way] = True
@@ -291,11 +307,22 @@ class SbcCache:
         self.stats.decouplings += 1
         tracer = self.tracer
         if tracer.enabled:
+            # SBC dissolves a pair only when the destination drains its
+            # last cooperative block.  A destination whose saturation
+            # climbed back above the coupling bar stopped looking like
+            # a lender — its demand recovered (role change); one still
+            # below it simply aged the source's blocks out.
+            reason = (
+                "giver_drained"
+                if self._saturation[dest_index] < self.couple_threshold
+                else "role_change"
+            )
             tracer.emit(Decoupling(
                 access=self.stats.accesses,
                 set_index=source_index,
                 global_access=self._access_base + self.stats.accesses,
                 giver=dest_index,
+                reason=reason,
             ))
 
     # ------------------------------------------------------------------
@@ -330,10 +357,26 @@ class SbcCache:
         """Lifetime access count; reset_stats() does not rewind it."""
         return self._access_base + self.stats.accesses
 
+    def ledger_counters(self) -> Dict[str, List[int]]:
+        """Per-set attribution counters for the capacity-flow ledger.
+
+        Tracer-guarded and window-aligned like
+        :meth:`repro.core.stem_cache.StemCache.ledger_counters`; SBC
+        has no policy swaps, so there is no ``swapped_policy_hits``
+        row and its temporal component is structurally zero.
+        """
+        return {
+            "hits": list(self._led_hits),
+            "cooperative_hits": list(self._led_coop),
+        }
+
     def reset_stats(self) -> None:
         """Zero statistics (e.g. after warm-up); the event clock keeps running."""
         self._access_base += self.stats.accesses
         self.stats = CacheStats()
+        num_sets = self.geometry.num_sets
+        self._led_hits = [0] * num_sets
+        self._led_coop = [0] * num_sets
 
     def check_invariants(self) -> None:
         """Raise :class:`InvariantViolation` on structural inconsistency."""

@@ -81,7 +81,7 @@ class TestEvents:
     def test_registry_covers_all_kinds(self):
         assert set(EVENT_TYPES) == {
             "eviction", "spill", "spill_reject", "coupling",
-            "decoupling", "policy_swap", "shadow_hit",
+            "coop_hit", "decoupling", "policy_swap", "shadow_hit",
             "fault_injected", "safe_mode",
         }
 
@@ -222,6 +222,25 @@ class TestNoOpOverhead:
         for address in trace.addresses:
             cache.access(address)
         assert cache.tracer.events_emitted == 0
+
+    def test_untraced_run_carries_no_ledger_state(self):
+        """A plain run pays nothing for the capacity-flow ledger.
+
+        Without ``ledger=True`` the result has no ledger, the cache's
+        tracer stays the shared NULL_TRACER (never mutated in place),
+        and the per-set attribution counters — maintained only under
+        the tracer guard — remain all zeros.
+        """
+        cache = make_scheme("STEM", GEOMETRY)
+        trace = make_benchmark_trace("vpr", num_sets=64, length=5_000)
+        result = run_trace(cache, trace, warmup_fraction=0.0)
+        assert result.ledger is None
+        assert cache.tracer is NULL_TRACER
+        assert not NULL_TRACER.enabled
+        counters = cache.ledger_counters()
+        assert set(counters) >= {"hits", "cooperative_hits"}
+        for name, values in counters.items():
+            assert not any(values), f"{name} counted without a tracer"
 
     def test_disabled_tracer_overhead_within_5_percent(self):
         """Explicit no-op tracer vs. default on a 50k-access trace.

@@ -412,27 +412,47 @@ class TestTruncatedEventLog:
     def test_tolerant_load_recovers_prefix(self, tmp_path):
         path = tmp_path / "log.jsonl"
         self._write_log(path)
-        with pytest.warns(UserWarning, match="truncated final event line"):
+        with pytest.warns(UserWarning, match="skipped unreadable"):
             events = load_events(path, strict=False)
         assert len(events) == 4
-        events, truncated = load_events_report(path, strict=False)
-        assert truncated == 5
+        events, skipped = load_events_report(path, strict=False)
+        assert skipped == [5]
 
-    def test_mid_file_corruption_always_raises(self, tmp_path):
+    def test_mid_file_torn_line_recovered(self, tmp_path):
+        """strict=False skips a torn line anywhere, not just at EOF."""
         path = tmp_path / "log.jsonl"
         self._write_log(path, truncate=False)
         lines = path.read_text().splitlines()
         lines[1] = lines[1][:10]
         path.write_text("\n".join(lines) + "\n")
         with pytest.raises(ConfigError, match="malformed event line"):
-            load_events(path, strict=False)
+            load_events(path)  # strict still refuses corruption
+        with pytest.warns(UserWarning, match="skipped unreadable"):
+            events = load_events(path, strict=False)
+        assert len(events) == 3
+        events, skipped = load_events_report(path, strict=False)
+        assert skipped == [2]
+        assert [e.access for e in events] == [0, 2, 3]
+
+    def test_unknown_kind_recovered_non_strict(self, tmp_path):
+        """A newer writer's event kinds are skipped, not fatal."""
+        path = tmp_path / "log.jsonl"
+        self._write_log(path, truncate=False)
+        lines = path.read_text().splitlines()
+        lines.insert(2, '{"kind": "from_the_future", "access": 9}')
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ConfigError):
+            load_events(path)
+        events, skipped = load_events_report(path, strict=False)
+        assert len(events) == 4
+        assert skipped == [3]
 
     def test_intact_log_loads_clean(self, tmp_path):
         path = tmp_path / "log.jsonl"
         self._write_log(path, truncate=False)
-        events, truncated = load_events_report(path, strict=False)
+        events, skipped = load_events_report(path, strict=False)
         assert len(events) == 4
-        assert truncated is None
+        assert skipped == []
 
     def test_flush_every_validated(self, tmp_path):
         with pytest.raises(ConfigError):
