@@ -5,4 +5,4 @@ manifests with the version) can import it without pulling in the whole
 :mod:`repro` namespace.
 """
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"

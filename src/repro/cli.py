@@ -17,7 +17,16 @@ Commands
              anything
 ``top``      live fleet view of a telemetry run directory: per-cell
              progress, worker resources, ETA, stall verdicts
-             (``--once`` for a single snapshot + ``status.json``)
+             (``--once`` for a single snapshot + ``status.json``;
+             ``--json`` prints the status document to stdout)
+``index``    SQLite artifact catalog: ``ingest PATH...`` idempotently
+             indexes save_run files, campaign directories and bench
+             ledgers; ``query``/``trajectory``/``regressions`` emit
+             deterministic sorted JSON
+``serve``    run observatory over a run directory: ``/healthz``,
+             ``/metrics``, ``/api/status``, ``/api/runs``,
+             ``/api/regressions`` and byte-stable HTML dashboards on a
+             stdlib HTTP server
 ``diff``     compare two runs — saved run files or scheme names run
              in-process — as a byte-stable delta report
 ``explain``  attribute the hit delta between two runs to STEM's
@@ -43,6 +52,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
 import time
 from pathlib import Path
@@ -70,11 +80,17 @@ from repro.analysis.report import build_report, render_report
 from repro._version import __version__
 from repro.common.errors import ReproError
 from repro.common.io import atomic_write_text
-from repro.obs.benchhistory import load_history, render_history
+from repro.obs.benchhistory import (
+    history_document,
+    load_history,
+    render_history,
+)
 from repro.obs.diff import diff_results
 from repro.obs.events import EVENT_TYPES
 from repro.obs.explain import attribute
 from repro.obs.fleet import load_fleet, render_top, write_status
+from repro.obs.index import DEFAULT_INDEX_PATH, ArtifactIndex
+from repro.obs.server import create_server
 from repro.obs.htmlreport import (
     diff_to_html,
     explain_to_html,
@@ -230,7 +246,14 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     if args.history:
-        print(render_history(load_history(args.history_file)), end="")
+        history = load_history(args.history_file)
+        if args.json:
+            # Machine-readable verdicts so CI can gate on trajectory:
+            # exit 3 when any scheme regressed versus its recent best.
+            document = history_document(history)
+            print(json.dumps(document, indent=2, sort_keys=True))
+            return 3 if document["regressed"] else 0
+        print(render_history(history), end="")
         return 0
     scale = _scale_from(args)
     schemes = [s.strip() for s in args.schemes.split(",")]
@@ -280,6 +303,7 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
         run_cache_dir=args.run_cache,
         telemetry_dir=args.telemetry,
         profiler=profiler,
+        index_db=args.index,
     )
     print(f"campaign {outcome.spec.name}: {outcome.total_cells} cells — "
           f"{outcome.executed} executed, {outcome.resumed} resumed from "
@@ -314,6 +338,12 @@ def _cmd_top(args: argparse.Namespace) -> int:
         write_status(run_dir, status)
         return status, render_top(status)
 
+    if args.json:
+        # The status.json document on stdout, no file round-trip — the
+        # scriptable twin of --once (same schema, same exit-3 contract).
+        status = load_fleet(run_dir, stall_after=args.stall_after)
+        print(json.dumps(status.as_dict(), indent=2, sort_keys=True))
+        return 3 if status.stalled_cells else 0
     if args.once:
         status, rendered = snapshot()
         print(rendered, end="")
@@ -332,6 +362,80 @@ def _cmd_top(args: argparse.Namespace) -> int:
             time.sleep(args.interval)
     except KeyboardInterrupt:
         print()
+    return 0
+
+
+def _open_index(args: argparse.Namespace) -> ArtifactIndex:
+    return ArtifactIndex(args.db)
+
+
+def _cmd_index_ingest(args: argparse.Namespace) -> int:
+    with _open_index(args) as index:
+        report = index.ingest(*args.paths)
+    print(report.render(), end="")
+    return 0
+
+
+def _print_json(document) -> int:
+    print(json.dumps(document, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_index_query(args: argparse.Namespace) -> int:
+    with _open_index(args) as index:
+        return _print_json(index.runs(
+            scheme=args.scheme,
+            benchmark=args.benchmark,
+            since=args.since,
+        ))
+
+
+def _cmd_index_trajectory(args: argparse.Namespace) -> int:
+    with _open_index(args) as index:
+        return _print_json(index.trajectory(args.scheme, args.benchmark))
+
+
+def _cmd_index_regressions(args: argparse.Namespace) -> int:
+    with _open_index(args) as index:
+        return _print_json(
+            index.regressions(window=args.window, ratio=args.ratio)
+        )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    run_dir = Path(args.run_dir)
+    if not run_dir.is_dir():
+        print(f"repro serve: no run directory at {run_dir}",
+              file=sys.stderr)
+        return 2
+    index: Optional[ArtifactIndex] = None
+    if args.db is not None:
+        index = ArtifactIndex(args.db)
+        index.ingest(run_dir)
+    server = create_server(
+        run_dir,
+        host=args.host,
+        port=args.port,
+        index=index,
+        stall_after=args.stall_after,
+    )
+
+    def _terminate(signum, frame) -> None:
+        raise KeyboardInterrupt
+
+    # SIGTERM (CI teardown, process managers) shuts down as cleanly as
+    # ^C: close the socket, exit 0.
+    previous = signal.signal(signal.SIGTERM, _terminate)
+    print(f"repro observatory serving {run_dir} "
+          f"on http://{args.host}:{server.port}/", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+        server.server_close()
+        server.index.close()
     return 0
 
 
@@ -680,6 +784,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="bench-history ledger location "
              "(default BENCH_HISTORY.jsonl)"
     )
+    bench_parser.add_argument(
+        "--json", action="store_true",
+        help="with --history: print machine-readable regression "
+             "verdicts (exit 3 when any scheme regressed)"
+    )
     _add_scale_arguments(bench_parser)
     _add_backend_argument(bench_parser)
     _add_profile_arguments(bench_parser)
@@ -732,6 +841,11 @@ def build_parser() -> argparse.ArgumentParser:
             help="write live fleet telemetry to DIR "
                  "(watch with 'repro top DIR')"
         )
+        verb_parser.add_argument(
+            "--index", metavar="DB", default=None,
+            help="ingest the finished campaign into this observatory "
+                 "index database (see 'repro index')"
+        )
         _add_profile_arguments(verb_parser)
         verb_parser.set_defaults(handler=_cmd_campaign_run)
     status_parser = campaign_commands.add_parser(
@@ -770,7 +884,122 @@ def build_parser() -> argparse.ArgumentParser:
         help="heartbeat age that flags a running cell as stalled "
              "(default 5.0)"
     )
+    top_parser.add_argument(
+        "--json", action="store_true",
+        help="print the status.json document to stdout (no file "
+             "round-trip; exit 3 flags a stalled worker)"
+    )
     top_parser.set_defaults(handler=_cmd_top)
+
+    index_parser = commands.add_parser(
+        "index",
+        help="SQLite artifact catalog over runs, campaigns and bench "
+             "history",
+        description=(
+            "One queryable index over the repository's observability "
+            "artifacts.  'ingest' is idempotent (re-ingesting the same "
+            "artifacts changes zero rows) and tolerates torn journal "
+            "tails; the query verbs emit deterministic sorted JSON."
+        ),
+    )
+    index_commands = index_parser.add_subparsers(
+        dest="index_command", required=True
+    )
+
+    def _add_db_argument(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--db", metavar="PATH", default=DEFAULT_INDEX_PATH,
+            help=f"index database (default {DEFAULT_INDEX_PATH})"
+        )
+
+    ingest_parser = index_commands.add_parser(
+        "ingest",
+        help="index save_run files, campaign dirs and bench ledgers",
+    )
+    ingest_parser.add_argument(
+        "paths", nargs="+", metavar="PATH",
+        help="save_run JSON file, campaign directory, bench-history "
+             "JSONL ledger, or a directory to scan for those"
+    )
+    _add_db_argument(ingest_parser)
+    ingest_parser.set_defaults(handler=_cmd_index_ingest)
+
+    query_parser = index_commands.add_parser(
+        "query", help="list indexed runs as sorted JSON"
+    )
+    query_parser.add_argument(
+        "--scheme", default=None,
+        help="filter by scheme name (case-insensitive)"
+    )
+    query_parser.add_argument(
+        "--benchmark", default=None, help="filter by benchmark name"
+    )
+    query_parser.add_argument(
+        "--since", metavar="ISO8601", default=None,
+        help="only runs ingested at or after this timestamp"
+    )
+    _add_db_argument(query_parser)
+    query_parser.set_defaults(handler=_cmd_index_query)
+
+    trajectory_parser = index_commands.add_parser(
+        "trajectory",
+        help="one (scheme, benchmark) pair's runs in ingestion order",
+    )
+    trajectory_parser.add_argument("scheme")
+    trajectory_parser.add_argument("benchmark")
+    _add_db_argument(trajectory_parser)
+    trajectory_parser.set_defaults(handler=_cmd_index_trajectory)
+
+    regressions_parser = index_commands.add_parser(
+        "regressions",
+        help="trajectory verdicts over the indexed bench samples",
+    )
+    regressions_parser.add_argument(
+        "--window", type=int, default=5, metavar="N",
+        help="trailing reference window (default 5)"
+    )
+    regressions_parser.add_argument(
+        "--ratio", type=float, default=0.8, metavar="R",
+        help="latest/reference ratio that flags a regression "
+             "(default 0.8)"
+    )
+    _add_db_argument(regressions_parser)
+    regressions_parser.set_defaults(handler=_cmd_index_regressions)
+
+    serve_parser = commands.add_parser(
+        "serve",
+        help="HTTP observatory over a run directory (stdlib only)",
+        description=(
+            "Serve /healthz, /metrics (Prometheus exposition with "
+            "run/scheme/benchmark labels), /api/status (live fleet "
+            "state), /api/runs, /api/regressions and byte-stable HTML "
+            "dashboards over a run directory.  Without --db the "
+            "directory is ingested into an ephemeral in-memory index "
+            "at startup."
+        ),
+    )
+    serve_parser.add_argument(
+        "run_dir", help="run directory to serve (artifacts + telemetry)"
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default 127.0.0.1)"
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=8321,
+        help="bind port; 0 picks an ephemeral port (default 8321)"
+    )
+    serve_parser.add_argument(
+        "--db", metavar="PATH", default=None,
+        help="serve this persistent index database instead of an "
+             "in-memory one (the run directory is still ingested)"
+    )
+    serve_parser.add_argument(
+        "--stall-after", type=float, default=5.0, metavar="SECONDS",
+        help="heartbeat age that flags a running cell as stalled "
+             "(default 5.0)"
+    )
+    serve_parser.set_defaults(handler=_cmd_serve)
 
     diff_parser = commands.add_parser(
         "diff",

@@ -39,6 +39,13 @@ and the README's *Observability* section):
   throughput recordings plus :func:`detect_regressions`, the
   trajectory detector behind ``repro bench --history`` and the
   BENCH_GUARD report.
+* **index + server** — the run observatory (DESIGN.md §15):
+  :class:`ArtifactIndex` is an SQLite catalog that idempotently
+  ingests save_run files, campaign directories and the bench ledger
+  into queryable runs/campaigns/bench-sample tables, and
+  :func:`create_server` serves it over stdlib HTTP — ``/healthz``,
+  ``/metrics``, ``/api/status``, ``/api/runs``, ``/api/regressions``
+  and the same byte-stable HTML dashboards the CLI writes.
 """
 
 from repro.obs.events import (
@@ -84,11 +91,18 @@ from repro.obs.benchhistory import (
     TrajectoryVerdict,
     append_history,
     detect_regressions,
+    history_document,
     load_history,
     make_entry,
     render_history,
     scheme_trajectories,
 )
+from repro.obs.index import (
+    DEFAULT_INDEX_PATH,
+    ArtifactIndex,
+    IngestReport,
+)
+from repro.obs.server import ObservatoryServer, create_server
 from repro.obs.fleet import (
     CellFleetStatus,
     FleetStatus,
@@ -118,7 +132,9 @@ from repro.obs.sinks import (
 from repro.obs.tracer import NULL_TRACER, Tracer, TraceSink
 
 __all__ = [
+    "DEFAULT_INDEX_PATH",
     "EVENT_TYPES",
+    "ArtifactIndex",
     "Attribution",
     "CellFleetStatus",
     "CellTelemetry",
@@ -132,12 +148,14 @@ __all__ = [
     "FilteredSink",
     "FleetStatus",
     "GridTelemetry",
+    "IngestReport",
     "JsonlSink",
     "LedgerSink",
     "MetricDelta",
     "MetricsRegistry",
     "MetricsSeries",
     "NULL_TRACER",
+    "ObservatoryServer",
     "PhaseTimer",
     "PolicySwap",
     "ProfileRecord",
@@ -162,7 +180,9 @@ __all__ = [
     "build_manifest",
     "cell_span_id",
     "cell_status_path",
+    "create_server",
     "detect_regressions",
+    "history_document",
     "load_fleet",
     "load_history",
     "make_entry",

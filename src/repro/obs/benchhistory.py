@@ -159,6 +159,16 @@ class TrajectoryVerdict:
             f"{self.reference:,.0f} ({self.ratio:.2f}x) — {direction}"
         )
 
+    def as_dict(self) -> Dict[str, Any]:
+        """Flat JSON-serialisable view (``--history --json``, server)."""
+        return {
+            "scheme": self.scheme,
+            "latest": self.latest,
+            "reference": self.reference,
+            "ratio": self.ratio,
+            "regressed": self.regressed,
+        }
+
 
 def detect_regressions(
     history: List[Dict[str, Any]],
@@ -194,6 +204,39 @@ def detect_regressions(
             regressed=achieved < ratio,
         ))
     return verdicts
+
+
+def history_document(
+    history: List[Dict[str, Any]],
+    ratio: float = DEFAULT_REGRESSION_RATIO,
+    reference_window: int = DEFAULT_REFERENCE_WINDOW,
+) -> Dict[str, Any]:
+    """The machine-readable trajectory document.
+
+    This is what ``repro bench --history --json`` prints and the
+    observatory serves at ``/api/regressions``: the ledger span, every
+    per-scheme :class:`TrajectoryVerdict`, and the sorted list of
+    regressed schemes — so CI can gate on trajectory (exit code 3)
+    without parsing the human trend view.
+    """
+    verdicts = detect_regressions(
+        history, ratio=ratio, reference_window=reference_window
+    )
+    return {
+        "entries": len(history),
+        "first_recorded_at": (
+            history[0].get("recorded_at") if history else None
+        ),
+        "last_recorded_at": (
+            history[-1].get("recorded_at") if history else None
+        ),
+        "ratio": ratio,
+        "reference_window": reference_window,
+        "verdicts": [verdict.as_dict() for verdict in verdicts],
+        "regressed": sorted(
+            verdict.scheme for verdict in verdicts if verdict.regressed
+        ),
+    }
 
 
 def _sparkline(rates: List[float]) -> str:

@@ -42,7 +42,7 @@ import json
 import math
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Union
+from typing import Any, Dict, List, Optional, Union
 
 from repro.common.errors import ConfigError
 from repro.common.io import atomic_write
@@ -70,6 +70,35 @@ def _escape_label_value(value: str) -> str:
     return (
         value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
     )
+
+
+def _escape_help_text(value: str) -> str:
+    """Escape ``# HELP`` text per the Prometheus exposition format."""
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+#: Hand-written HELP text for the derived rates; counters and gauges
+#: get uniform generated text.
+_HELP_OVERRIDES = {
+    "miss_rate": "Misses over accesses in the final sampled window.",
+    "shadow_hit_rate": "Shadow-directory hits over misses in the final "
+                       "sampled window.",
+    "spill_accept_rate": "Accepted spills over offered spills in the "
+                         "final sampled window.",
+}
+
+
+def _help_text(name: str, kind: str) -> str:
+    """Deterministic one-line HELP text for one metric family."""
+    override = _HELP_OVERRIDES.get(name)
+    if override is not None:
+        return override
+    if kind == "counter":
+        return (
+            f"Sum of per-window deltas of the '{name}' counter over "
+            "the measured phase."
+        )
+    return f"Final sampled value of the '{name}' gauge."
 
 
 @dataclass
@@ -161,20 +190,32 @@ class MetricsSeries:
             ))
         return "\n".join(lines) + "\n"
 
-    def to_prometheus(self) -> str:
+    def to_prometheus(
+        self, extra_labels: Optional[Dict[str, str]] = None
+    ) -> str:
         """Prometheus-style exposition text over the whole run.
 
         Counter metrics report the window-delta sum (the measured-phase
         total); everything else is a gauge reporting its final sample.
-        Label values are escaped per the exposition format, non-finite
-        gauges render as ``NaN``/``+Inf``/``-Inf``, and a series with
-        no recorded windows produces an empty (zero-byte) exposition.
+        Every metric family carries ``# HELP`` and ``# TYPE`` lines and
+        ``scheme``/``benchmark`` labels (``extra_labels`` — e.g. the
+        observatory's ``run`` hash — are merged in, rendered in sorted
+        label order).  Label values are escaped per the exposition
+        format, non-finite gauges render as ``NaN``/``+Inf``/``-Inf``,
+        and a series with no recorded windows produces an empty
+        (zero-byte) exposition.
         """
         counters = set(counter_field_names())
-        labels = (
-            f'{{scheme="{_escape_label_value(self.scheme)}"'
-            f',trace="{_escape_label_value(self.trace_name)}"}}'
-        )
+        label_items = {
+            "scheme": self.scheme,
+            "benchmark": self.trace_name,
+        }
+        if extra_labels:
+            label_items.update(extra_labels)
+        labels = "{" + ",".join(
+            f'{name}="{_escape_label_value(str(value))}"'
+            for name, value in sorted(label_items.items())
+        ) + "}"
         lines: List[str] = []
         for name in sorted(self.series):
             values = self.series[name]
@@ -185,6 +226,9 @@ class MetricsSeries:
             else:
                 kind, value = "gauge", float(values[-1])
             metric = f"repro_{name}"
+            lines.append(
+                f"# HELP {metric} {_escape_help_text(_help_text(name, kind))}"
+            )
             lines.append(f"# TYPE {metric} {kind}")
             lines.append(f"{metric}{labels} {_format_value(value)}")
         if not lines:

@@ -888,6 +888,7 @@ def run_campaign(
     run_cache_dir: Optional[Union[str, Path]] = None,
     telemetry_dir: Optional[Union[str, Path]] = None,
     profiler: Optional[RunProfiler] = None,
+    index_db: Optional[Union[str, Path]] = None,
 ) -> CampaignOutcome:
     """Run (or resume) the campaign described by ``spec_path``.
 
@@ -904,6 +905,12 @@ def run_campaign(
     Returns a :class:`CampaignOutcome`; a quarantined cell never raises
     — it is reported in ``matrix.txt``, ``summary.json``, the HTML
     degradation banner and ``quarantine/``.
+
+    ``index_db`` names an observatory index
+    (:class:`~repro.obs.index.ArtifactIndex`) into which the finished
+    campaign directory is ingested after the journal closes and the
+    summary lands — the ``repro campaign run --index`` hook.  Ingestion
+    is idempotent, so resumed campaigns simply advance their row.
     """
     spec = load_campaign_spec(spec_path)
     directory = (
@@ -1043,6 +1050,13 @@ def run_campaign(
             quarantined=[entry.as_dict() for entry in quarantine_list],
         ),
     )
+    if index_db is not None:
+        # Lazy import: sim imports obs only when the hook is used, and
+        # obs.index itself imports sim lazily (no cycle at module load).
+        from repro.obs.index import ArtifactIndex
+
+        with ArtifactIndex(index_db) as artifact_index:
+            artifact_index.ingest(directory)
     return CampaignOutcome(
         spec=spec,
         directory=directory,

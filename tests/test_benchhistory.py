@@ -10,6 +10,7 @@ from repro.common.errors import ConfigError
 from repro.obs.benchhistory import (
     append_history,
     detect_regressions,
+    history_document,
     load_history,
     machine_params,
     make_entry,
@@ -156,6 +157,54 @@ class TestRendering:
         code = main(["bench", "--history", "--history-file", str(path)])
         assert code == 2
         assert "repro: error:" in capsys.readouterr().err
+
+
+class TestHistoryDocument:
+    def test_document_shape(self):
+        history = [
+            entry({"lru": 100.0, "stem": 100.0}),
+            entry({"lru": 101.0, "stem": 50.0},
+                  recorded_at="2026-08-08T01:00:00+00:00"),
+        ]
+        document = history_document(history)
+        assert document["entries"] == 2
+        assert document["first_recorded_at"] == "2026-08-08T00:00:00+00:00"
+        assert document["last_recorded_at"] == "2026-08-08T01:00:00+00:00"
+        assert document["regressed"] == ["stem"]
+        verdicts = {v["scheme"]: v for v in document["verdicts"]}
+        assert not verdicts["lru"]["regressed"]
+        assert verdicts["stem"] == {
+            "scheme": "stem", "latest": 50.0, "reference": 100.0,
+            "ratio": 0.5, "regressed": True,
+        }
+
+    def test_empty_history_document(self):
+        document = history_document([])
+        assert document["entries"] == 0
+        assert document["first_recorded_at"] is None
+        assert document["regressed"] == []
+
+    def test_cli_json_ok_exits_0(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_HISTORY.jsonl"
+        append_history(path, entry({"lru": 100.0}))
+        append_history(path, entry({"lru": 110.0}))
+        code = main([
+            "bench", "--history", "--json", "--history-file", str(path)
+        ])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["regressed"] == []
+
+    def test_cli_json_regression_exits_3(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_HISTORY.jsonl"
+        append_history(path, entry({"lru": 100.0}))
+        append_history(path, entry({"lru": 10.0}))
+        code = main([
+            "bench", "--history", "--json", "--history-file", str(path)
+        ])
+        assert code == 3
+        document = json.loads(capsys.readouterr().out)
+        assert document["regressed"] == ["lru"]
 
 
 class TestCommittedLedger:

@@ -202,8 +202,26 @@ class TestExporters:
         assert "# TYPE repro_miss_rate gauge" in text
         total = sum(series.series["misses"])
         assert (
-            f'repro_misses{{scheme="STEM",trace="{series.trace_name}"}} '
-            f"{format(total, '.10g')}"
+            f'repro_misses{{benchmark="{series.trace_name}",'
+            f'scheme="STEM"}} {format(total, ".10g")}'
+        ) in text
+
+    def test_prometheus_help_lines_per_family(self, tmp_path):
+        text = self._series().to_prometheus()
+        # Every family leads with HELP then TYPE then its sample.
+        lines = text.splitlines()
+        assert len(lines) % 3 == 0
+        for offset in range(0, len(lines), 3):
+            assert lines[offset].startswith("# HELP repro_")
+            assert lines[offset + 1].startswith("# TYPE repro_")
+            assert lines[offset + 2].startswith("repro_")
+
+    def test_prometheus_extra_labels_merge_sorted(self):
+        series = self._series()
+        text = series.to_prometheus(extra_labels={"run": "abc123"})
+        assert (
+            f'{{benchmark="{series.trace_name}",run="abc123",'
+            'scheme="STEM"}'
         ) in text
 
     def test_exports_are_byte_stable(self, tmp_path):
@@ -250,9 +268,10 @@ class TestPrometheusEdgeCases:
         )
         text = series.to_prometheus()
         assert 'scheme="ST\\"EM\\\\x"' in text
-        assert 'trace="line1\\nline2"' in text
-        # The raw newline must not split the sample across lines.
-        assert len(text.splitlines()) == 2
+        assert 'benchmark="line1\\nline2"' in text
+        # The raw newline must not split the sample across lines:
+        # exactly HELP + TYPE + one sample for the one family.
+        assert len(text.splitlines()) == 3
 
     def test_non_finite_gauges_use_prometheus_spellings(self):
         text = self._series(
@@ -260,9 +279,9 @@ class TestPrometheusEdgeCases:
             pos_gauge=[float("inf")],
             neg_gauge=[float("-inf")],
         ).to_prometheus()
-        assert 'repro_nan_gauge{scheme="STEM",trace="mcf"} NaN' in text
-        assert 'repro_pos_gauge{scheme="STEM",trace="mcf"} +Inf' in text
-        assert 'repro_neg_gauge{scheme="STEM",trace="mcf"} -Inf' in text
+        assert 'repro_nan_gauge{benchmark="mcf",scheme="STEM"} NaN' in text
+        assert 'repro_pos_gauge{benchmark="mcf",scheme="STEM"} +Inf' in text
+        assert 'repro_neg_gauge{benchmark="mcf",scheme="STEM"} -Inf' in text
         # Python's own spellings must not leak into the exposition.
         assert "inf\n" not in text and " nan" not in text
 

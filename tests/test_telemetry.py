@@ -611,3 +611,18 @@ class TestTopCli:
         out = capsys.readouterr().out
         assert "1 done" in out
         assert "status.json" in out
+
+    def test_top_json_prints_status_document(self, tmp_path, capsys):
+        run_matrix(
+            [small_trace("omnetpp", 6_000)], ["lru"], scale=SCALE,
+            telemetry_dir=tmp_path,
+        )
+        # The grid runner writes its own final status.json; remove it
+        # to prove --json is the no-file-round-trip surface.
+        (tmp_path / "status.json").unlink()
+        assert main(["top", str(tmp_path), "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["finished"] is True
+        assert document["counts"]["done"] == 1
+        assert len(document["cells"]) == 1
+        assert not (tmp_path / "status.json").exists()
